@@ -1,0 +1,11 @@
+"""Shared fixtures for the benchmark suite."""
+
+import pytest
+
+from repro.core import ComplianceEngine
+
+
+@pytest.fixture(scope="session")
+def engine() -> ComplianceEngine:
+    """One compliance engine shared across benchmarks."""
+    return ComplianceEngine()

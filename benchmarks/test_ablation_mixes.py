@@ -1,0 +1,107 @@
+"""Ablation A4: watermark robustness against batching mixes.
+
+Anonymity networks can deploy batching mixes as a timing defence.  This
+ablation passes the watermarked flow's arrivals through each strategy and
+measures the surviving detection margin.  Expected shape: the watermark
+survives no-mix and fine-grained batching easily, degrades under coarse
+timed mixes as the tick approaches the chip duration, and suffers most
+under the pool mix's randomized holding.
+"""
+
+import pytest
+
+from repro.anonymity import (
+    NoMix,
+    OnionNetwork,
+    PoolMix,
+    ThresholdMix,
+    TimedMix,
+)
+from repro.netsim import Simulator
+from repro.techniques import (
+    FlowWatermarker,
+    PnCode,
+    PoissonFlow,
+    WatermarkConfig,
+    WatermarkDetector,
+)
+
+START = 1.0
+CONFIG = WatermarkConfig(chip_duration=0.5, base_rate=25.0, amplitude=0.3)
+
+
+def run_through_mix(mix, seed: int):
+    """One trial: watermark + decoy through the onion net, then the mix."""
+    code = PnCode.msequence(7)
+    sim = Simulator()
+    network = OnionNetwork(sim, n_relays=20, seed=seed)
+    target = network.build_circuit("suspect", "server")
+    decoy = network.build_circuit("bystander", "server")
+    watermarker = FlowWatermarker(code, CONFIG, seed=seed + 1)
+    watermarker.embed(target, start=START)
+    PoissonFlow(rate=CONFIG.base_rate, seed=seed + 2).schedule(
+        decoy, start=START, duration=watermarker.duration
+    )
+    sim.run()
+
+    detector = WatermarkDetector(code, CONFIG)
+    target_result = detector.detect(
+        mix.apply(target.client_arrival_times()),
+        start=START,
+        max_offset=2.0,
+        offset_step=0.05,
+    )
+    decoy_result = detector.detect(
+        mix.apply(decoy.client_arrival_times()),
+        start=START,
+        max_offset=2.0,
+        offset_step=0.05,
+    )
+    return target_result, decoy_result
+
+
+MIXES = {
+    "no-mix": lambda: NoMix(),
+    "threshold-8": lambda: ThresholdMix(k=8),
+    "timed-0.2s": lambda: TimedMix(interval=0.2),
+    "timed-2.0s": lambda: TimedMix(interval=2.0),
+    "pool-0.5s": lambda: PoolMix(round_interval=0.5, seed=11),
+}
+
+
+@pytest.mark.parametrize("mix_name", sorted(MIXES))
+def test_watermark_vs_mix(benchmark, mix_name):
+    target, decoy = benchmark.pedantic(
+        run_through_mix, args=(MIXES[mix_name](), 550), rounds=1
+    )
+    margin = target.correlation - decoy.correlation
+    print(
+        f"\n{mix_name}: target corr={target.correlation:+.3f} "
+        f"decoy corr={decoy.correlation:+.3f} margin={margin:+.3f} "
+        f"detected={target.detected}"
+    )
+    if mix_name in ("no-mix", "threshold-8", "timed-0.2s"):
+        # Fine-grained batching leaves the chip-level counts intact.
+        assert target.detected
+        assert not decoy.detected
+    # Coarse mixes may or may not defeat this configuration; the
+    # cross-strategy ordering is asserted in test_mix_ordering below.
+
+
+def test_mix_ordering(benchmark):
+    """No-mix margin must dominate the coarse timed mix's margin."""
+
+    def compare():
+        clean_t, clean_d = run_through_mix(NoMix(), 700)
+        coarse_t, coarse_d = run_through_mix(TimedMix(interval=2.0), 700)
+        return (
+            clean_t.correlation - clean_d.correlation,
+            coarse_t.correlation - coarse_d.correlation,
+        )
+
+    clean_margin, coarse_margin = benchmark.pedantic(compare, rounds=1)
+    print(
+        f"\nclean margin {clean_margin:+.3f} vs coarse-timed margin "
+        f"{coarse_margin:+.3f}"
+    )
+    assert clean_margin > coarse_margin

@@ -1,0 +1,83 @@
+"""Ablation A1: engine rule-pipeline properties.
+
+Design probes for the compliance engine itself:
+
+* **determinism** — repeated evaluation of the same scene is identical;
+* **monotonicity** — granting a *stronger* process never makes a lawful
+  action unlawful (``Ruling.permits`` is monotone in the held process);
+* **exception subtraction** — removing a scene's exceptions can only
+  raise (never lower) the required process;
+* throughput of single-scene evaluation (the engine is meant to gate
+  every acquisition in a live pipeline, so per-call cost matters).
+"""
+
+import dataclasses
+
+from repro.core import (
+    ComplianceEngine,
+    ConsentFacts,
+    DoctrineFacts,
+    ProcessKind,
+    build_table1,
+)
+
+
+def test_engine_determinism(engine, benchmark):
+    scenarios = build_table1()
+
+    def evaluate_twice():
+        first = [engine.evaluate(s.action) for s in scenarios]
+        second = [engine.evaluate(s.action) for s in scenarios]
+        return first, second
+
+    first, second = benchmark.pedantic(evaluate_twice, rounds=1)
+    for a, b in zip(first, second):
+        assert a.required_process is b.required_process
+        assert a.steps == b.steps
+
+
+def test_held_process_monotonicity(engine):
+    """If a weak process satisfies a ruling, every stronger one does too."""
+    ladder = list(ProcessKind)
+    for scenario in build_table1():
+        ruling = engine.evaluate(scenario.action)
+        permitted = [ruling.permits(p) for p in ladder]
+        # once permitted, always permitted up the ladder
+        first_true = permitted.index(True) if True in permitted else None
+        assert first_true is not None, "a wiretap order satisfies anything"
+        assert all(permitted[first_true:])
+
+
+def test_stripping_exceptions_never_lowers_requirement(engine):
+    """Ablating consent/doctrine can only raise the required process."""
+    for scenario in build_table1():
+        action = scenario.action
+        stripped = dataclasses.replace(
+            action,
+            consent=ConsentFacts(),
+            doctrine=DoctrineFacts(
+                # keep facts that *create* requirements, drop excusals
+                hash_search_of_lawful_media=(
+                    action.doctrine.hash_search_of_lawful_media
+                ),
+            ),
+        )
+        with_exceptions = engine.evaluate(action).required_process
+        without = engine.evaluate(stripped).required_process
+        assert without >= with_exceptions, (
+            f"scene {scenario.number}: stripping exceptions lowered the "
+            f"requirement from {with_exceptions} to {without}"
+        )
+
+
+def test_single_evaluation_throughput(engine, benchmark):
+    """Per-call engine latency on the most complex scene (full trace)."""
+    scenario = build_table1()[15]  # scene 16: consent + doctrine + REP
+    ruling = benchmark(engine.evaluate, scenario.action)
+    assert ruling.needs_process
+
+
+def test_engine_construction_cost(benchmark):
+    """Engine + registry construction (once per process, ideally)."""
+    engine = benchmark(ComplianceEngine)
+    assert len(engine.registry) > 25

@@ -1,0 +1,85 @@
+"""Ablation A2: watermark chip length vs network jitter.
+
+The DSSS design trade-off: longer chips integrate away per-packet jitter
+but stretch the observation window; higher relay jitter degrades short
+chips first.  The benchmark sweeps a (chip duration x jitter) grid and
+checks the expected shape: detection margin falls as jitter rises, and
+longer chips hold a positive margin deeper into the jitter range.
+"""
+
+import pytest
+
+from repro.anonymity import OnionNetwork
+from repro.netsim import Simulator
+from repro.techniques import (
+    FlowWatermarker,
+    PnCode,
+    PoissonFlow,
+    WatermarkConfig,
+    WatermarkDetector,
+)
+
+START = 1.0
+
+
+def margin_for(chip_duration: float, jitter: float, seed: int) -> float:
+    """Detection margin (target correlation minus best decoy) for one run."""
+    code = PnCode.msequence(7)
+    config = WatermarkConfig(
+        chip_duration=chip_duration, base_rate=25.0, amplitude=0.3
+    )
+    sim = Simulator()
+    network = OnionNetwork(
+        sim, n_relays=25, seed=seed, base_delay=0.02, jitter=jitter
+    )
+    circuits = [
+        network.build_circuit(f"cand-{i}", "server") for i in range(4)
+    ]
+    watermarker = FlowWatermarker(code, config, seed=seed + 1)
+    watermarker.embed(circuits[0], start=START)
+    for index, circuit in enumerate(circuits[1:], 1):
+        PoissonFlow(rate=25.0, seed=seed + 5 + index).schedule(
+            circuit, start=START, duration=watermarker.duration
+        )
+    sim.run()
+    detector = WatermarkDetector(code, config)
+    results = [
+        detector.detect(
+            c.client_arrival_times(),
+            start=START,
+            max_offset=max(1.0, 10 * jitter * 0.02 + 0.5),
+        )
+        for c in circuits
+    ]
+    return results[0].correlation - max(r.correlation for r in results[1:])
+
+
+@pytest.mark.parametrize("chip_duration", [0.1, 0.4])
+def test_chip_length_vs_jitter(benchmark, chip_duration):
+    jitters = [0.0, 2.0, 8.0]
+
+    def sweep():
+        return {j: margin_for(chip_duration, j, seed=900) for j in jitters}
+
+    margins = benchmark.pedantic(sweep, rounds=1)
+    print(f"\nchip={chip_duration}s: " + ", ".join(
+        f"jitter={j} -> margin {m:+.3f}" for j, m in margins.items()
+    ))
+    # Shape: margin positive with no jitter, and weakly decreasing.
+    assert margins[0.0] > 0.2
+    assert margins[8.0] <= margins[0.0] + 0.05
+
+
+def test_long_chips_beat_short_chips_under_heavy_jitter(benchmark):
+    """At heavy jitter the 0.4 s chips must outperform the 0.1 s chips."""
+    heavy = 8.0
+
+    def compare():
+        short = margin_for(0.1, heavy, seed=901)
+        long_ = margin_for(0.4, heavy, seed=901)
+        return short, long_
+
+    short, long_ = benchmark.pedantic(compare, rounds=1)
+    print(f"\nheavy jitter: short-chip margin {short:+.3f}, "
+          f"long-chip margin {long_:+.3f}")
+    assert long_ > short

@@ -1,0 +1,45 @@
+"""Engine scale benchmark: throughput and stability on a random corpus.
+
+The engine is designed to gate every acquisition in a live pipeline, so
+its per-call cost and its stability across a large, varied corpus matter.
+"""
+
+from repro.core import ComplianceEngine, ProcessKind
+from repro.workloads import (
+    action_corpus,
+    labeled_corpus,
+    process_distribution,
+)
+
+CORPUS_SIZE = 5000
+
+
+def test_bulk_evaluation_throughput(benchmark):
+    engine = ComplianceEngine()
+    corpus = action_corpus(CORPUS_SIZE, seed=99)
+
+    def evaluate_all():
+        return [engine.evaluate(action) for action in corpus]
+
+    rulings = benchmark.pedantic(evaluate_all, rounds=1)
+    assert len(rulings) == CORPUS_SIZE
+
+
+def test_corpus_label_distribution(benchmark):
+    """The corpus exercises every process level, and labels are stable."""
+    labeled = benchmark.pedantic(
+        labeled_corpus, args=(CORPUS_SIZE, 99), rounds=1
+    )
+    distribution = process_distribution(labeled)
+    print("\nrequired-process distribution over the random corpus:")
+    for kind in ProcessKind:
+        share = distribution[kind] / CORPUS_SIZE
+        print(f"  {kind.display_name:28s} {distribution[kind]:5d} ({share:5.1%})")
+    # Every rung of the ladder must appear: the corpus is a real workout.
+    assert all(distribution[kind] > 0 for kind in ProcessKind)
+
+    # Determinism at scale: a second pass produces identical labels.
+    second = labeled_corpus(CORPUS_SIZE, 99)
+    assert [x.required_process for x in labeled] == [
+        x.required_process for x in second
+    ]

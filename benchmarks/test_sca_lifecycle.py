@@ -1,0 +1,72 @@
+"""Experiment "SCA": the Alice/Bob e-mail lifecycle of section III.A.3.
+
+Walks a message through every lifecycle stage at a public and a non-public
+provider and prints, per stage, the provider's SCA role and the process
+required to compel the content — including the "drops out of the SCA"
+transition the paper walks through in prose.
+"""
+
+from repro.core import LegalSource, ProcessKind, ProviderRole
+from repro.storage import MailProvider, Message
+
+
+def lifecycle_rows():
+    """Run the full lifecycle; returns printable stage rows."""
+    gmail = MailProvider("gmail", serves_public=True)
+    university = MailProvider("cs.charlie.edu", serves_public=False)
+    gmail.create_account("bob")
+    university.create_account("alice")
+
+    rows = []
+
+    email = Message(
+        sender="alice@cs.charlie.edu",
+        recipient="bob",
+        subject="notes",
+        body="...",
+        sent_at=0.0,
+    )
+    gmail.deliver(email, time=1.0)
+    rows.append(("gmail", "unretrieved", gmail.role_for(email),
+                 *gmail.required_process_for(email)))
+    gmail.retrieve("bob", email.message_id)
+    rows.append(("gmail", "opened+stored", gmail.role_for(email),
+                 *gmail.required_process_for(email)))
+
+    reply = Message(
+        sender="bob@gmail.com",
+        recipient="alice",
+        subject="re: notes",
+        body="...",
+        sent_at=2.0,
+    )
+    university.deliver(reply, time=3.0)
+    rows.append(("university", "unretrieved", university.role_for(reply),
+                 *university.required_process_for(reply)))
+    university.retrieve("alice", reply.message_id)
+    rows.append(("university", "opened+stored", university.role_for(reply),
+                 *university.required_process_for(reply)))
+    return rows
+
+
+def test_sca_lifecycle(benchmark):
+    rows = benchmark(lifecycle_rows)
+    print()
+    print(f"{'provider':<12} {'stage':<14} {'SCA role':<36} "
+          f"{'process':<18} source")
+    for provider, stage, role, process, source in rows:
+        print(f"{provider:<12} {stage:<14} {role.value:<36} "
+              f"{process.display_name:<18} {source.value}")
+
+    expectations = [
+        (ProviderRole.ECS, ProcessKind.SEARCH_WARRANT, LegalSource.SCA),
+        (ProviderRole.RCS, ProcessKind.SEARCH_WARRANT, LegalSource.SCA),
+        (ProviderRole.ECS, ProcessKind.SEARCH_WARRANT, LegalSource.SCA),
+        (
+            ProviderRole.NEITHER,
+            ProcessKind.SEARCH_WARRANT,
+            LegalSource.FOURTH_AMENDMENT,
+        ),
+    ]
+    observed = [(role, process, source) for _, _, role, process, source in rows]
+    assert observed == expectations

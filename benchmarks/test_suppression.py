@@ -1,0 +1,63 @@
+"""Experiment "supp.": the exclusionary rule across every Table 1 scene.
+
+Runs all twenty scenes through the end-to-end pipeline twice:
+
+* **warrantless** — suppression rate must be 100% for scenes the paper
+  says need process, 0% for scenes that need none;
+* **with process obtained first** — suppression rate must be 0% across
+  the board.
+"""
+
+from repro.core import build_table1
+from repro.investigation import (
+    InvestigationPipeline,
+    format_suppression_outcomes,
+    suppression_split,
+)
+
+
+def run_both_ways():
+    pipeline = InvestigationPipeline()
+    scenarios = build_table1()
+    warrantless = pipeline.run_all(scenarios, obtain_process=False)
+    compliant = pipeline.run_all(scenarios, obtain_process=True)
+    return warrantless, compliant
+
+
+def test_suppression_split(benchmark):
+    warrantless, compliant = benchmark(run_both_ways)
+
+    print("\nwarrantless runs:")
+    print(format_suppression_outcomes(warrantless))
+    need_rate, no_need_rate = suppression_split(warrantless)
+    print(
+        f"suppression: {need_rate:.0%} of process-requiring scenes, "
+        f"{no_need_rate:.0%} of no-process scenes"
+    )
+    assert need_rate == 1.0
+    assert no_need_rate == 0.0
+
+    comp_need, comp_no_need = suppression_split(compliant)
+    print(
+        f"with process obtained first: {comp_need:.0%} / {comp_no_need:.0%}"
+    )
+    assert comp_need == 0.0
+    assert comp_no_need == 0.0
+
+
+def test_process_actually_issued_when_sought(benchmark):
+    """With a full showing on file, every needed instrument issues."""
+    pipeline = InvestigationPipeline()
+    scenarios = build_table1()
+    outcomes = benchmark.pedantic(
+        pipeline.run_all, args=(scenarios, True), rounds=1
+    )
+    for outcome in outcomes:
+        if outcome.ruling.needs_process:
+            assert outcome.process_obtained.satisfies(
+                outcome.ruling.required_process
+            ), (
+                f"scene {outcome.scenario.number}: sought "
+                f"{outcome.ruling.required_process.display_name} but "
+                f"obtained {outcome.process_obtained.display_name}"
+            )

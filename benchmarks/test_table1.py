@@ -1,0 +1,63 @@
+"""Experiment "Table 1": regenerate the paper's only table.
+
+Replays all twenty digital crime scenes through the compliance engine and
+checks the engine's Need / No-need answer against the paper's published
+answer, row by row.  The benchmark measures full-table evaluation
+throughput; the assertions demand 20/20 agreement.
+"""
+
+from repro.core import build_table1
+from repro.investigation import format_table1
+
+
+def evaluate_all(engine, scenarios):
+    """Evaluate every scene; returns (ruling, scenario) pairs."""
+    return [(engine.evaluate(s.action), s) for s in scenarios]
+
+
+def test_table1_reproduction(engine, benchmark):
+    scenarios = build_table1()
+    results = benchmark(evaluate_all, engine, scenarios)
+
+    assert len(results) == 20
+    mismatches = [
+        (scenario.number, scenario.paper_answer, ruling.required_process)
+        for ruling, scenario in results
+        if ruling.needs_process != scenario.paper_needs_process
+    ]
+    print()
+    print(format_table1(scenarios, engine))
+    assert not mismatches, f"Table 1 disagreements: {mismatches}"
+
+
+def test_extended_catalogue_reproduction(engine, benchmark):
+    """The paper's prose examples (sections II-III) as a second test set."""
+    from repro.core import build_extended_catalogue
+
+    catalogue = build_extended_catalogue()
+    rulings = benchmark(
+        lambda: [(engine.evaluate(s.action), s) for s in catalogue]
+    )
+    mismatches = [
+        (scene.scene_id, scene.basis)
+        for ruling, scene in rulings
+        if ruling.required_process is not scene.expected_process
+    ]
+    print(f"\nextended catalogue: {len(catalogue) - len(mismatches)}"
+          f"/{len(catalogue)} scenes match the cited authority")
+    assert not mismatches
+
+
+def test_table1_starred_rows_cite_authors_judgment(engine):
+    """Rows the paper marks (*) must cite the authors' own judgment."""
+    for scenario in build_table1():
+        if not scenario.starred:
+            continue
+        ruling = engine.evaluate(scenario.action)
+        cited = {
+            key for step in ruling.steps for key in step.authorities
+        }
+        assert "paper_judgment" in cited, (
+            f"scene {scenario.number} is starred but does not cite the "
+            f"paper's own judgment"
+        )

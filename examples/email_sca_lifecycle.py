@@ -1,0 +1,98 @@
+"""The Alice/Bob e-mail lifecycle of paper section III.A.3, executable.
+
+Run::
+
+    python examples/email_sca_lifecycle.py
+
+Alice (at non-public Charlie University) mails Bob (at public Gmail); Bob
+replies.  At each lifecycle stage the example prints the provider's SCA
+role *with respect to that message* and what process the government would
+need to compel its contents — including the moment Bob's opened reply
+"drops out of the SCA" on the university server and only the Fourth
+Amendment governs.
+"""
+
+from repro.core import ComplianceEngine, LegalSource, ProviderRole
+from repro.storage import MailProvider, Message
+
+
+def show(provider: MailProvider, message: Message, stage: str) -> None:
+    role = provider.role_for(message)
+    process, source = provider.required_process_for(message)
+    print(f"  [{stage}]")
+    print(f"    provider {provider.name}: role = {role.value}")
+    print(
+        f"    compelling content requires {process.display_name} "
+        f"under the {source.value}"
+    )
+
+
+def main() -> None:
+    engine = ComplianceEngine()
+    gmail = MailProvider("gmail", serves_public=True)
+    university = MailProvider("cs.charlie.edu", serves_public=False)
+    gmail.create_account("bob")
+    university.create_account("alice")
+
+    # --- Alice -> Bob -----------------------------------------------------------
+    print("Alice (university) mails Bob (gmail):")
+    email = Message(
+        sender="alice@cs.charlie.edu",
+        recipient="bob",
+        subject="meeting notes",
+        body="see attachment",
+        sent_at=0.0,
+    )
+    gmail.deliver(email, time=1.0)
+    show(gmail, email, "delivered, awaiting retrieval")
+    assert gmail.role_for(email) is ProviderRole.ECS
+
+    gmail.retrieve("bob", email.message_id)
+    show(gmail, email, "Bob opened it and left it stored")
+    assert gmail.role_for(email) is ProviderRole.RCS
+    print()
+
+    # --- Bob -> Alice ------------------------------------------------------------
+    print("Bob replies to Alice:")
+    reply = Message(
+        sender="bob@gmail.com",
+        recipient="alice",
+        subject="re: meeting notes",
+        body="got them, thanks",
+        sent_at=2.0,
+    )
+    university.deliver(reply, time=3.0)
+    show(university, reply, "delivered, awaiting retrieval")
+    assert university.role_for(reply) is ProviderRole.ECS
+
+    university.retrieve("alice", reply.message_id)
+    show(university, reply, "Alice opened it and left it stored")
+    assert university.role_for(reply) is ProviderRole.NEITHER
+    print()
+
+    # --- the engine agrees -----------------------------------------------------
+    print("cross-check against the compliance engine:")
+    for provider, message, label in (
+        (gmail, email, "opened mail at gmail (RCS)"),
+        (university, reply, "opened mail at the university (neither)"),
+    ):
+        ruling = engine.evaluate(provider.describe_compulsion(message))
+        governed_by = (
+            ", ".join(s.value for s in ruling.governing_sources)
+            or "nothing"
+        )
+        print(
+            f"  {label}: requires "
+            f"{ruling.required_process.display_name}; requirements from: "
+            f"{governed_by}"
+        )
+        expected_process, expected_source = provider.required_process_for(
+            message
+        )
+        assert ruling.required_process is expected_process
+        if expected_source is LegalSource.FOURTH_AMENDMENT:
+            assert LegalSource.SCA not in ruling.governing_sources
+
+
+if __name__ == "__main__":
+    main()

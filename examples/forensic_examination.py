@@ -1,0 +1,93 @@
+"""A complete off-site forensic examination (paper section III.A.2).
+
+Run::
+
+    python examples/forensic_examination.py
+
+A drive is seized under a warrant scoped to financial records of a wire
+fraud.  The lab images it, verifies the image hash, inventories live and
+recoverable-deleted files, carves unallocated space and slack, screens
+everything against a known-contraband set, builds the activity timeline —
+and the warrant-scoped search shows which of those findings the warrant
+actually lets the examiner seize, which come in through plain view, and
+which must be left alone.
+"""
+
+from repro.core import ExaminedRecord, WarrantScope
+from repro.storage import (
+    BlockDevice,
+    ForensicExaminer,
+    KnownFileSet,
+    SimpleFilesystem,
+)
+from repro.techniques import ScopedSearchTechnique
+
+
+def build_seized_drive() -> SimpleFilesystem:
+    fs = SimpleFilesystem(BlockDevice(n_blocks=512, block_size=64))
+    fs.write_file("q3-ledger.xlsx", "wire transfers: 14 payments offshore")
+    fs.write_file("invoices.csv", "fabricated invoice batch")
+    fs.write_file("thesis-draft.txt", "unrelated personal writing")
+    fs.write_file("family.jpg", "JPEG[family picnic]GEPJ")
+    fs.write_file("cp-evidence.jpg", "JPEG[contraband image]GEPJ")
+    fs.delete_file("cp-evidence.jpg")  # the suspect tried to clean up
+    fs.write_file("shredded-memo.txt", "destroy the second ledger")
+    fs.delete_file("shredded-memo.txt")
+    return fs
+
+
+def main() -> None:
+    fs = build_seized_drive()
+    known = KnownFileSet.from_contents(
+        ["JPEG[contraband image]GEPJ"], label="known contraband"
+    )
+
+    # -- the lab examination --------------------------------------------------
+    examiner = ForensicExaminer(known_files=known)
+    report = examiner.examine(fs)
+    print("=== examination report ===")
+    print(report.summary())
+    print("\ntimeline:")
+    for event in report.timeline:
+        order = "   (post)" if event.order == float("inf") else f"t={event.order:4.0f}"
+        print(f"  {order}  {event.kind.value:38s} {event.subject}")
+    print()
+
+    # -- what may the warrant actually seize? -----------------------------------
+    scope = WarrantScope(
+        place="suspect residence",
+        crime="wire fraud",
+        categories=frozenset({"financial-records"}),
+    )
+
+    def categorize(name: str, data: bytes) -> ExaminedRecord:
+        if "ledger" in name or "invoice" in name or "memo" in name:
+            category = "financial-records"
+        elif name.endswith((".jpg", ".jpeg")) or "jpg" in name:
+            category = "photos"
+        else:
+            category = "personal-documents"
+        return ExaminedRecord(
+            name=name,
+            category=category,
+            location="suspect residence",
+            incriminating_apparent=b"contraband" in data,
+        )
+
+    search = ScopedSearchTechnique(scope)
+    result = search.run_on_filesystem(fs, categorize)
+    print("=== warrant-scoped seizure decisions ===")
+    for record in result.seized_in_scope:
+        print(f"  SEIZE (in scope)   {record.name}")
+    for record in result.seized_plain_view:
+        print(f"  SEIZE (plain view) {record.name}  <- grounds a fresh warrant")
+    for record in result.left_untouched:
+        print(f"  LEAVE              {record.name}")
+    print(
+        f"\nan unscoped tool would have over-seized "
+        f"{result.over_seizure_count} records; this one did not"
+    )
+
+
+if __name__ == "__main__":
+    main()

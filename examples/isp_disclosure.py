@@ -1,0 +1,119 @@
+"""The SCA's disclosure machinery at a working ISP (sections II.B, III.A).
+
+Run::
+
+    python examples/isp_disclosure.py
+
+Spins up an ISP carrying real (simulated) traffic, then walks the 2703
+compelled-disclosure tiers — watching the ISP refuse each demand until the
+officer holds sufficient process — the 2702 voluntary-disclosure rules,
+and the III.A.1(a) subpoena workflow that turns an attacking IP address
+into a subscriber identity.
+"""
+
+from repro.core import DataKind, ProcessKind
+from repro.core.errors import InsufficientProcess, LegalViolation
+from repro.netsim import FullInterceptTap, Network, PenRegisterTap
+from repro.netsim.isp import IspNode
+
+
+def build_world():
+    net = Network(seed=44)
+    isp = IspNode("metro-isp", net.sim, serves_public=True)
+    net.add_node(isp)
+    customer = net.add_host("customer")
+    remote = net.add_host("remote-server")
+    access_link = net.connect(customer, isp, latency=0.004)
+    net.connect(isp, remote, latency=0.012)
+    net.build_routes()
+
+    isp.register_subscriber("customer", "C. Ngata", "12 Birch Ln")
+    isp.store_content("customer", "draft email: 'wire the money friday'")
+
+    remote.register_service(80, lambda host, pkt: "200 ok")
+    for index in range(5):
+        net.sim.schedule(
+            index * 0.5,
+            lambda i=index: customer.send_to(
+                remote, f"GET /page-{i}", dst_port=80
+            ),
+        )
+    net.sim.run()
+    return net, isp, customer, access_link
+
+
+def demand(isp, data_kind, held):
+    try:
+        records = isp.compelled_disclosure(data_kind, held)
+        print(
+            f"  {data_kind.value:22s} with {held.display_name:14s} "
+            f"-> {len(records)} records disclosed"
+        )
+    except InsufficientProcess as error:
+        print(
+            f"  {data_kind.value:22s} with {held.display_name:14s} "
+            f"-> REFUSED ({error.required.display_name} required)"
+        )
+
+
+def main() -> None:
+    net, isp, customer, access_link = build_world()
+    print(f"ISP carried {isp.transaction_log_size} packets for customers\n")
+
+    print("2703 compelled-disclosure tiers:")
+    for held in (
+        ProcessKind.NONE,
+        ProcessKind.SUBPOENA,
+        ProcessKind.COURT_ORDER,
+        ProcessKind.SEARCH_WARRANT,
+    ):
+        for data_kind in (
+            DataKind.SUBSCRIBER_INFO,
+            DataKind.TRANSACTIONAL_RECORD,
+            DataKind.CONTENT,
+        ):
+            demand(isp, data_kind, held)
+        print()
+
+    print("2702 voluntary disclosure:")
+    try:
+        isp.voluntary_disclosure(DataKind.SUBSCRIBER_INFO, to_government=True)
+    except LegalViolation as error:
+        print(f"  to the government: REFUSED ({error})")
+    records = isp.voluntary_disclosure(
+        DataKind.TRANSACTIONAL_RECORD, to_government=False
+    )
+    print(f"  non-content to a private party: {len(records)} records")
+    records = isp.voluntary_disclosure(
+        DataKind.CONTENT, to_government=True, emergency=True
+    )
+    print(f"  content to the government in an emergency: {len(records)}\n")
+
+    print("III.A.1(a) subpoena workflow:")
+    # The ISP leases addresses from its own pool and keeps the history;
+    # the subpoena resolves an observed address to the subscriber.
+    leased_ip = isp.lease_ip("customer")
+    subscriber = isp.subscriber_for_ip(
+        leased_ip, time=net.sim.now, process_held=ProcessKind.SUBPOENA
+    )
+    print(
+        f"  attacking IP {leased_ip} -> subscriber "
+        f"{subscriber.name}, {subscriber.street_address} "
+        f"(probable cause for a premises warrant)\n"
+    )
+
+    print("real-time taps require their own process:")
+    try:
+        isp.attach_tap(
+            access_link, FullInterceptTap("wire"), ProcessKind.COURT_ORDER
+        )
+    except InsufficientProcess as error:
+        print(f"  full intercept with a court order: REFUSED ({error})")
+    isp.attach_tap(
+        access_link, PenRegisterTap("pen"), ProcessKind.COURT_ORDER
+    )
+    print("  pen register with a court order: attached")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Probable cause from online-account membership (paper section III.A.1(b)).
+
+Run::
+
+    python examples/membership_probable_cause.py
+
+The paper's second probable-cause scenario: investigators obtain a
+contraband site's membership list.  *Gourde* says paid, renewing
+membership can establish probable cause; *Coreas* warns that bare
+membership alone may not.  The example runs both postures against the
+magistrate and shows the paper's advice in action: "If law enforcement
+has a technique to identify the suspect's intent along with the
+membership, this is a probable cause."
+"""
+
+from repro.core import ComplianceEngine, ProcessKind
+from repro.investigation import (
+    Case,
+    Investigator,
+    membership_fact,
+    membership_with_intent_fact,
+)
+from repro.netsim import Network, WebServer
+
+
+def discover_membership():
+    """LE finds the site and obtains its membership list lawfully.
+
+    The server is seized; its membership list is read under the seizure
+    warrant.  (The legality of *getting* the list is not this example's
+    point — what the list *supports* is.)
+    """
+    net = Network(seed=77)
+    officer_pc = net.add_host("officer")
+    server = net.add_host("contraband-site")
+    net.connect(officer_pc, server, latency=0.01)
+    net.build_routes()
+    site = WebServer(server, public=False)
+    site.publish("/members-area", "contraband index")
+    for member in ("user-flamingo", "user-heron", "user-egret"):
+        site.add_member(member)
+    return sorted(site.members)
+
+
+def try_warrant(case, label):
+    officer = Investigator("agent drew", engine=ComplianceEngine())
+    decision = officer.apply_for(
+        ProcessKind.SEARCH_WARRANT,
+        case,
+        time=1.0,
+        target_place="subscriber premises",
+        target_items=("computers", "storage media"),
+    )
+    verdict = "GRANTED" if decision.granted else "DENIED"
+    print(f"  {label}: warrant {verdict} — {decision.reason}")
+    return decision.granted
+
+
+def main() -> None:
+    members = discover_membership()
+    print(f"membership list obtained: {members}\n")
+
+    target = members[0]
+
+    print("posture 1 — bare membership (the Coreas problem):")
+    bare_case = Case("op-flamingo-bare")
+    bare_case.add_fact(membership_fact(target, "the contraband site"))
+    granted = try_warrant(bare_case, "bare membership")
+    assert not granted
+    # Bare membership still supports a subpoena (mere suspicion).
+    officer = Investigator("agent drew", engine=ComplianceEngine())
+    subpoena = officer.apply_for(ProcessKind.SUBPOENA, bare_case, time=1.0)
+    print(
+        f"  ...but a subpoena for subscriber records is "
+        f"{'granted' if subpoena.granted else 'denied'}\n"
+    )
+
+    print("posture 2 — membership plus intent (the Gourde path):")
+    intent_case = Case("op-flamingo-intent")
+    intent_case.add_fact(
+        membership_with_intent_fact(
+            target,
+            "the contraband site",
+            "paid for an automatically renewing subscription and "
+            "downloaded from the members-only index",
+        )
+    )
+    granted = try_warrant(intent_case, "membership + intent")
+    assert granted
+    print(
+        "\nthe paper's advice: design techniques that capture *intent* "
+        "along with membership,\nso the showing clears probable cause."
+    )
+
+
+if __name__ == "__main__":
+    main()

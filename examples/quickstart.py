@@ -1,0 +1,61 @@
+"""Quickstart: rule on investigative actions and reproduce Table 1.
+
+Run::
+
+    python examples/quickstart.py
+
+Shows the three core moves of the library:
+
+1. build an :class:`InvestigativeAction` and ask the compliance engine
+   what legal process it requires (with the full reasoning trace);
+2. replay all twenty scenes of the paper's Table 1 and print the
+   engine-vs-paper agreement table;
+3. ask the research advisor whether a proposed technique is workable
+   without a warrant (the paper's Section IV question).
+"""
+
+from repro.core import (
+    Actor,
+    ComplianceEngine,
+    DataKind,
+    EnvironmentContext,
+    InvestigativeAction,
+    Place,
+    ResearchAdvisor,
+    Timing,
+    build_table1,
+)
+from repro.investigation import format_assessment, format_table1
+from repro.techniques import OneSwarmTimingAttack
+
+
+def main() -> None:
+    engine = ComplianceEngine()
+
+    # 1. Rule on a single action: a full packet capture at an ISP.
+    action = InvestigativeAction(
+        description="capture entire packets at the suspect's ISP",
+        actor=Actor.GOVERNMENT,
+        data_kind=DataKind.CONTENT,
+        timing=Timing.REAL_TIME,
+        context=EnvironmentContext(place=Place.TRANSMISSION_PATH),
+    )
+    ruling = engine.evaluate(action)
+    print("=== Single-action ruling ===")
+    print(f"Action: {action.description}")
+    print(ruling.explain())
+    print()
+
+    # 2. Reproduce the paper's Table 1.
+    print("=== Table 1 reproduction ===")
+    print(format_table1(build_table1(), engine))
+    print()
+
+    # 3. Ask the advisor about a technique (paper section IV.A).
+    print("=== Research advisor ===")
+    assessment = OneSwarmTimingAttack().assess(ResearchAdvisor(engine))
+    print(format_assessment(assessment))
+
+
+if __name__ == "__main__":
+    main()

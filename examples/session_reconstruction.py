@@ -1,0 +1,122 @@
+"""Reconstructing a chat session from a Title III intercept (section II.A).
+
+Run::
+
+    python examples/session_reconstruction.py
+
+The paper's court-order/wiretap example: collect all packets involving a
+particular IP address and reconstruct the conversation.  The example runs
+the interception lawfully (a wiretap order for content), reconstructs the
+session transcript, then runs the III.A.2 attribution analysis on the
+suspect's machine — proving *who* typed, ruling out malware, and showing
+knowledge of the subject — to build a warrant-grade showing.
+"""
+
+from repro.core import ComplianceEngine, ProcessKind, Standard
+from repro.investigation import (
+    AttributionAnalyzer,
+    BrowsingRecord,
+    Case,
+    Investigator,
+    LoginRecord,
+    MachineProfile,
+    MalwareScanResult,
+    UserAccount,
+)
+from repro.netsim import FullInterceptTap, Network, SessionReassembler
+from repro.netsim.isp import IspNode
+
+
+def run_interception():
+    net = Network(seed=55)
+    isp = IspNode("metro-isp", net.sim)
+    net.add_node(isp)
+    suspect = net.add_host("suspect")
+    buyer = net.add_host("buyer")
+    suspect_link = net.connect(suspect, isp, latency=0.004)
+    net.connect(isp, buyer, latency=0.009)
+    net.build_routes()
+    isp.register_subscriber("suspect", "S. Vane", "3 Quay St")
+
+    # The officer holds a Title III order; the ISP verifies it.
+    tap = FullInterceptTap("t3-intercept", target_ip=suspect.ip)
+    isp.attach_tap(suspect_link, tap, ProcessKind.WIRETAP_ORDER)
+
+    chat = [
+        (suspect, buyer, "got the chemicals, lab runs tonight"),
+        (buyer, suspect, "same price as last time?"),
+        (suspect, buyer, "yes. usual drop"),
+        (buyer, suspect, "deal"),
+    ]
+    for index, (sender, receiver, text) in enumerate(chat):
+        net.sim.schedule(
+            index * 2.0,
+            lambda s=sender, r=receiver, t=text: s.send_to(
+                r, t, src_port=5190, dst_port=5190
+            ),
+        )
+    net.sim.run()
+    return net, suspect, tap
+
+
+def main() -> None:
+    net, suspect, tap = run_interception()
+
+    print("=== reconstructed session (lawful Title III intercept) ===")
+    reassembler = SessionReassembler()
+    for session in reassembler.session_for(tap, suspect.ip):
+        print(session.transcript())
+    print()
+
+    # III.A.2: attribute the conversation to a person, not a machine.
+    profile = MachineProfile(
+        accounts=(
+            UserAccount("svane", password_protected=True),
+            UserAccount("guest", password_protected=False),
+        ),
+        logins=(
+            LoginRecord("svane", login_at=0.0, logout_at=30.0),
+        ),
+        browsing=(
+            BrowsingRecord(
+                "svane", 1.0, "how to build a methamphetamine laboratory"
+            ),
+            BrowsingRecord("svane", 1.5, "buy lab glassware bulk"),
+            BrowsingRecord("svane", 2.0, "weather tomorrow"),
+        ),
+        malware_scan=MalwareScanResult(clean=True),
+    )
+    analyzer = AttributionAnalyzer(
+        crime_keywords=["methamphetamine", "lab glassware"]
+    )
+    report = analyzer.analyze(profile, artifact_created_at=2.0)
+    print("=== III.A.2 attribution analysis ===")
+    print(f"attributed user:       {report.attributed_user}")
+    print(f"exclusive attribution: {report.exclusive_attribution}")
+    print(f"malware ruled out:     {report.malware_ruled_out}")
+    print(f"knowledge shown:       {report.knowledge_shown}")
+    for entry in report.knowledge_entries:
+        print(f"  history: {entry!r}")
+    print(f"supports:              {report.supports.name}")
+    assert report.supports is Standard.PROBABLE_CAUSE
+
+    # The analysis becomes a fact strong enough for a premises warrant.
+    case = Case("op-quayside")
+    case.add_fact(report.to_fact("intercepted chat session", observed_at=8.0))
+    officer = Investigator("det. ibarra", engine=ComplianceEngine())
+    decision = officer.apply_for(
+        ProcessKind.SEARCH_WARRANT,
+        case,
+        time=9.0,
+        target_place="3 Quay St",
+        target_items=("computers", "lab equipment records"),
+    )
+    print(
+        f"\nwarrant application on the attribution fact: "
+        f"{'granted' if decision.granted else 'denied'} "
+        f"({decision.reason})"
+    )
+
+
+if __name__ == "__main__":
+    main()

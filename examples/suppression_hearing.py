@@ -1,0 +1,155 @@
+"""A full investigation storyline ending in a suppression hearing.
+
+Run::
+
+    python examples/suppression_hearing.py
+
+The paper's section III.A.1(a) storyline, executed twice:
+
+* **By the book** — a victim reports an attack; the officer subpoenas the
+  ISP for the subscriber behind the attacking IP; the identity supports
+  probable cause; a warrant issues; the seized drive is imaged and
+  hash-searched; every item survives the hearing.
+* **Cutting corners** — the same officer skips the warrant and
+  hash-searches the lawfully seized drive anyway (the *Crist* error,
+  Table 1 scene 18); the hits are suppressed, and the derivative analysis
+  goes down with them as fruit of the poisonous tree.
+"""
+
+from repro.core import (
+    Actor,
+    ComplianceEngine,
+    DataKind,
+    EnvironmentContext,
+    InvestigativeAction,
+    Place,
+    ProcessKind,
+    Timing,
+)
+from repro.court import Magistrate, SuppressionHearing
+from repro.evidence import ChainOfCustody, derive
+from repro.investigation import Case, Investigator, ip_address_fact
+from repro.storage import (
+    BlockDevice,
+    KnownFileSet,
+    SimpleFilesystem,
+    image_device,
+)
+from repro.techniques import HashSearchTechnique
+
+
+def build_suspect_drive() -> tuple[SimpleFilesystem, KnownFileSet]:
+    """A drive with innocuous files, contraband, and a deleted file."""
+    device = BlockDevice(n_blocks=256, block_size=64)
+    fs = SimpleFilesystem(device)
+    fs.write_file("thesis.txt", "chapter one: introduction")
+    fs.write_file("holiday.jpg", "JPEG[beach sunset]GEPJ")
+    fs.write_file("cp-0042.jpg", "JPEG[contraband 42]GEPJ")
+    fs.write_file("cp-0043.jpg", "JPEG[contraband 43]GEPJ")
+    fs.delete_file("cp-0043.jpg")  # suspect tried to clean up
+    known = KnownFileSet.from_contents(
+        ["JPEG[contraband 42]GEPJ", "JPEG[contraband 43]GEPJ"],
+        label="known contraband",
+    )
+    return fs, known
+
+
+def storyline(comply: bool) -> None:
+    label = "BY THE BOOK" if comply else "CUTTING CORNERS"
+    print(f"--- {label} ---")
+    engine = ComplianceEngine()
+    magistrate = Magistrate()
+    officer = Investigator("det. okafor", magistrate, engine)
+    case = Case("op-driftnet", "intrusion into victim's server")
+
+    # 1. Victim reports the attacking IP: probable cause accumulates.
+    case.add_fact(ip_address_fact("10.0.3.77", "intrusion", observed_at=0.0))
+
+    # 2. Subpoena the ISP for the subscriber identity (always lawful here).
+    decision = officer.apply_for(
+        ProcessKind.SUBPOENA, case, time=1.0
+    )
+    assert decision.granted
+    subpoena_action = InvestigativeAction(
+        description="compel subscriber identity behind 10.0.3.77 from ISP",
+        actor=Actor.GOVERNMENT,
+        data_kind=DataKind.SUBSCRIBER_INFO,
+        timing=Timing.STORED,
+        context=EnvironmentContext(place=Place.THIRD_PARTY_PROVIDER),
+    )
+    identity = officer.act(
+        subpoena_action, time=2.0, content="subscriber: R. Mallory, 5 Elm St"
+    )
+    print(f"subscriber identified: {identity.content}")
+    case.add_suspect("R. Mallory")
+
+    # 3. Get (or skip) the warrant, then hash-search the seized drive.
+    if comply:
+        warrant = officer.apply_for(
+            ProcessKind.SEARCH_WARRANT,
+            case,
+            time=3.0,
+            target_place="5 Elm St, Mallory residence",
+            target_items=("computers", "storage media"),
+        )
+        assert warrant.granted
+        print(f"warrant issued: {warrant.reason}")
+    else:
+        print("officer skips the warrant (the Crist error)")
+
+    fs, known = build_suspect_drive()
+    image = image_device(fs.device)
+    assert image.sha256() == fs.device.sha256(), "imaging integrity failure"
+    technique = HashSearchTechnique(known)
+    report = technique.run(fs)
+    print(
+        f"hash search: {report.files_examined} files examined, "
+        f"{report.hit_count} contraband hits "
+        f"({sum(h.recovered_deleted for h in report.hits)} from deleted "
+        f"files)"
+    )
+
+    hits_item = officer.act(
+        technique.required_actions()[0],
+        time=4.0,
+        content="; ".join(h.file_name for h in report.hits),
+        description="contraband hash hits on seized drive",
+        comply=False,
+        derived_from=(identity.evidence_id,),
+    )
+    analysis_item = derive(
+        hits_item,
+        description="forensic analysis report of contraband files",
+        content="EXIF and timeline analysis of hash hits",
+        action=hits_item.action,
+    )
+    officer.evidence.append(analysis_item)
+
+    chain = ChainOfCustody(hits_item, custodian=officer.name, time=4.0)
+    chain.transfer("evidence locker", time=5.0)
+
+    # 4. The suppression hearing.
+    outcome = SuppressionHearing(engine).hear(
+        officer.evidence, custody={hits_item.evidence_id: chain}
+    )
+    for item in officer.evidence:
+        finding = outcome.findings[item.evidence_id]
+        print(
+            f"  evidence #{item.evidence_id} ({item.description}): "
+            f"{finding.outcome.value} — {finding.reason}"
+        )
+    print(
+        f"suppression rate: {outcome.suppression_rate:.0%} "
+        f"({len(outcome.admitted)} admitted / "
+        f"{len(outcome.suppressed)} suppressed)"
+    )
+    print()
+
+
+def main() -> None:
+    storyline(comply=True)
+    storyline(comply=False)
+
+
+if __name__ == "__main__":
+    main()

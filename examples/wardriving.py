@@ -1,0 +1,114 @@
+"""Table 1 rows 3-6, physically simulated: WarDriving outside a home.
+
+Run::
+
+    python examples/wardriving.py
+
+Builds a home WLAN (open, then WPA-protected) with an officer's sniffer
+parked in radio range, and runs the four collection postures of Table 1
+rows 3-6: headers vs full frames, open vs encrypted.  For each posture the
+example shows (a) what the sniffer physically captures and (b) what the
+compliance engine says about collecting it — the Street View lesson in
+code.
+"""
+
+from repro.core import (
+    Actor,
+    ComplianceEngine,
+    DataKind,
+    EnvironmentContext,
+    InvestigativeAction,
+    Place,
+    Timing,
+)
+from repro.netsim import (
+    FullInterceptTap,
+    Network,
+    PenRegisterTap,
+    WirelessMedium,
+)
+from repro.netsim.packet import Packet
+
+
+def browse(medium, laptop, router_host, n=3):
+    """The resident browses: frames radiate beyond the walls."""
+    for index in range(n):
+        frame = Packet(
+            src_mac=laptop.mac,
+            dst_mac=router_host.mac,
+            src_ip=laptop.ip,
+            dst_ip=router_host.ip,
+            src_port=40000 + index,
+            dst_port=443,
+            payload=f"GET /private/page-{index} (session cookie: s3cr3t)",
+        )
+        medium.broadcast(frame, laptop)
+
+
+def posture(engine, label, data_kind, encrypted, captured_summary):
+    action = InvestigativeAction(
+        description=f"log wireless {label} outside the residence",
+        actor=Actor.GOVERNMENT,
+        data_kind=data_kind,
+        timing=Timing.REAL_TIME,
+        context=EnvironmentContext(
+            place=Place.WIRELESS_BROADCAST, encrypted=encrypted
+        ),
+    )
+    ruling = engine.evaluate(action)
+    answer = (
+        "No need" if not ruling.needs_process
+        else f"Need ({ruling.required_process.display_name})"
+    )
+    print(f"  {label:32s} captured: {captured_summary:28s} engine: {answer}")
+
+
+def run_network(network_key, title):
+    print(f"--- {title} ---")
+    net = Network(seed=31)
+    laptop = net.add_host("resident-laptop")
+    router_host = net.add_host("home-router")
+    medium = WirelessMedium(net.sim, "home-wlan", network_key=network_key)
+    medium.join(laptop)
+    medium.join(router_host)
+
+    pen = PenRegisterTap("officer-headers")
+    full = FullInterceptTap("officer-full")
+    medium.add_sniffer(pen)
+    medium.add_sniffer(full)
+
+    browse(medium, laptop, router_host)
+    net.sim.run()
+
+    readable = full.payloads()
+    header_summary = f"{len(pen.records)} header records"
+    payload_summary = (
+        f"{len(readable)}/{full.observed_count} payloads readable"
+    )
+    engine = ComplianceEngine()
+    encrypted = network_key is not None
+    posture(
+        engine, "headers only (pen register)", DataKind.NON_CONTENT,
+        encrypted, header_summary,
+    )
+    posture(
+        engine, "full frames (payload capture)", DataKind.CONTENT,
+        encrypted, payload_summary,
+    )
+    if readable:
+        print(f"  first readable payload: {readable[0]!r}")
+    print()
+
+
+def main() -> None:
+    run_network(None, "open network (Table 1 rows 3-4)")
+    run_network("wpa-home-key", "WPA network (Table 1 rows 5-6)")
+    print(
+        "headers are collectable without process either way; payload\n"
+        "collection needs a Title III order even on the open network —\n"
+        "capturing it anyway is what made Street View a scandal."
+    )
+
+
+if __name__ == "__main__":
+    main()

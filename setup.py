@@ -1,0 +1,7 @@
+"""Legacy setup shim: this environment's setuptools lacks the `wheel`
+package needed for PEP 517 editable installs, so we keep a setup.py to
+allow `pip install -e . --no-use-pep517 --no-build-isolation`."""
+
+from setuptools import setup
+
+setup()

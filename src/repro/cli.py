@@ -1,0 +1,231 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro table1                # reproduce the paper's Table 1
+    python -m repro scene 18              # explain one scene's ruling
+    python -m repro assess watermark      # Section IV advisor verdict
+    python -m repro storyline ip          # run a full storyline
+    python -m repro authorities           # list the citation registry
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable, Sequence
+
+from repro.core import ComplianceEngine, ResearchAdvisor, build_table1
+from repro.investigation import format_assessment, format_table1
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    engine = ComplianceEngine()
+    print(format_table1(build_table1(), engine))
+    return 0
+
+
+def _cmd_scene(args: argparse.Namespace) -> int:
+    engine = ComplianceEngine()
+    scenes = {scene.number: scene for scene in build_table1()}
+    scene = scenes.get(args.number)
+    if scene is None:
+        print(f"no scene {args.number}; Table 1 has scenes 1-20")
+        return 1
+    ruling = engine.evaluate(scene.action)
+    if args.json:
+        import json
+
+        payload = {
+            "scene": scene.number,
+            "description": scene.action.description,
+            "paper_answer": scene.paper_answer,
+            "ruling": ruling.to_dict(),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"Scene {scene.number}: {scene.action.description}")
+    print(f"Paper's answer: {scene.paper_answer}")
+    print(ruling.explain())
+    return 0
+
+
+_TECHNIQUES: dict[str, Callable[[], object]] = {}
+
+
+def _technique_factories() -> dict[str, Callable[[], object]]:
+    if _TECHNIQUES:
+        return _TECHNIQUES
+    from repro.storage import KnownFileSet
+    from repro.techniques import (
+        CredentialedAccessTechnique,
+        Credential,
+        DataMiningTechnique,
+        DsssWatermarkTechnique,
+        HashSearchTechnique,
+        OneSwarmTimingAttack,
+        PacketCountingCorrelator,
+    )
+    from repro.techniques.interval_watermark import SquareWaveTechnique
+
+    _TECHNIQUES.update(
+        {
+            "timing": OneSwarmTimingAttack,
+            "watermark": DsssWatermarkTechnique,
+            "square-wave": SquareWaveTechnique,
+            "correlation": PacketCountingCorrelator,
+            "hash-search": lambda: HashSearchTechnique(KnownFileSet()),
+            "mining": lambda: DataMiningTechnique(fields=["ip"]),
+            "credentials": lambda: CredentialedAccessTechnique(
+                Credential("defendant", "password")
+            ),
+        }
+    )
+    return _TECHNIQUES
+
+
+def _cmd_assess(args: argparse.Namespace) -> int:
+    factories = _technique_factories()
+    factory = factories.get(args.technique)
+    if factory is None:
+        print(f"unknown technique; choose from: {', '.join(sorted(factories))}")
+        return 1
+    technique = factory()
+    assessment = technique.assess(ResearchAdvisor())
+    print(format_assessment(assessment))
+    return 0
+
+
+def _cmd_storyline(args: argparse.Namespace) -> int:
+    from repro.investigation.storylines import (
+        ip_traceback_storyline,
+        watermark_situation_one,
+        watermark_situation_two,
+    )
+
+    runners = {
+        "ip": lambda: ip_traceback_storyline(comply=True),
+        "ip-crist": lambda: ip_traceback_storyline(comply=False),
+        "wm1": watermark_situation_one,
+        "wm2": watermark_situation_two,
+    }
+    runner = runners.get(args.name)
+    if runner is None:
+        print(f"unknown storyline; choose from: {', '.join(sorted(runners))}")
+        return 1
+    report = runner()
+    print(f"=== {report.title} ===")
+    for index, step in enumerate(report.steps, 1):
+        print(f"  {index}. {step}")
+    print(f"outcome: {'SUCCESS' if report.succeeded else 'FAILED'}")
+    return 0
+
+
+def _cmd_reference(args: argparse.Namespace) -> int:
+    from repro.investigation import format_quick_reference
+
+    print(format_quick_reference(build_table1(), ComplianceEngine()))
+    return 0
+
+
+def _cmd_curve(args: argparse.Namespace) -> int:
+    from repro.investigation.campaign import compliance_curve
+
+    probabilities = [0.0, 0.25, 0.5, 0.75, 1.0]
+    curve = compliance_curve(
+        probabilities, n_cases=args.cases, seed=args.seed
+    )
+    print("prosecution success rate vs compliance probability:")
+    for p in probabilities:
+        bar = "#" * int(curve[p] * 40)
+        print(f"  p={p:4.2f}: {curve[p]:6.1%} {bar}")
+    return 0
+
+
+def _cmd_authorities(args: argparse.Namespace) -> int:
+    engine = ComplianceEngine()
+    for authority in sorted(engine.registry, key=lambda a: a.key):
+        print(f"{authority.key:28s} {authority.citation}")
+        if args.verbose:
+            print(f"{'':28s}   {authority.holding}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Compliance-aware digital forensics framework reproducing "
+            "'When Digital Forensic Research Meets Laws' (ICDCS 2012)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    table1 = subparsers.add_parser(
+        "table1", help="reproduce the paper's Table 1"
+    )
+    table1.set_defaults(func=_cmd_table1)
+
+    scene = subparsers.add_parser(
+        "scene", help="explain one Table 1 scene's ruling"
+    )
+    scene.add_argument("number", type=int, help="scene number (1-20)")
+    scene.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    scene.set_defaults(func=_cmd_scene)
+
+    assess = subparsers.add_parser(
+        "assess", help="Section IV advisor verdict for a technique"
+    )
+    assess.add_argument(
+        "technique",
+        help=(
+            "timing | watermark | square-wave | correlation | "
+            "hash-search | mining | credentials"
+        ),
+    )
+    assess.set_defaults(func=_cmd_assess)
+
+    storyline = subparsers.add_parser(
+        "storyline", help="run a full investigation storyline"
+    )
+    storyline.add_argument("name", help="ip | ip-crist | wm1 | wm2")
+    storyline.set_defaults(func=_cmd_storyline)
+
+    reference = subparsers.add_parser(
+        "reference",
+        help="the paper's quick-reference table, with citations",
+    )
+    reference.set_defaults(func=_cmd_reference)
+
+    curve = subparsers.add_parser(
+        "curve", help="prosecution success vs compliance probability"
+    )
+    curve.add_argument(
+        "--cases", type=int, default=200, help="cases per probability"
+    )
+    curve.add_argument("--seed", type=int, default=9, help="RNG seed")
+    curve.set_defaults(func=_cmd_curve)
+
+    authorities = subparsers.add_parser(
+        "authorities", help="list the citation registry"
+    )
+    authorities.add_argument(
+        "-v", "--verbose", action="store_true", help="include holdings"
+    )
+    authorities.set_defaults(func=_cmd_authorities)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

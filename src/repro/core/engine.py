@@ -1,0 +1,163 @@
+"""The compliance engine: the paper's legal analysis as a rule pipeline.
+
+Given one :class:`~repro.core.action.InvestigativeAction`, the engine runs:
+
+1. the Katz reasonable-expectation-of-privacy analysis;
+2. the four bodies of law in parallel — Fourth Amendment, Wiretap Act,
+   SCA, Pen/Trap statute — each of which may impose a process requirement;
+3. statute-internal exceptions (recorded for the trace);
+4. cross-cutting exceptions (consent, exigency, plain view, ...), which
+   eliminate requirements per legal source;
+5. combination: the required process is the *maximum* surviving
+   requirement, mirroring the paper's observation that stronger process
+   subsumes weaker (section II.A).
+
+The output :class:`~repro.core.ruling.Ruling` answers the Table 1 question
+("does this scene need a warrant/court order/subpoena?") and carries a full
+citation-bearing reasoning trace.
+"""
+
+from __future__ import annotations
+
+from repro.core.action import InvestigativeAction
+from repro.core.caselaw import AuthorityRegistry, build_default_registry
+from repro.core.enums import ProcessKind
+from repro.core.exceptions import gather_exceptions
+from repro.core.privacy import analyze_privacy
+from repro.core.ruling import (
+    AppliedException,
+    ReasoningStep,
+    Requirement,
+    Ruling,
+)
+from repro.core.statutes import fourth_amendment, pentrap, sca, wiretap
+
+
+class ComplianceEngine:
+    """Rules on investigative actions under the paper's legal framework.
+
+    The engine is deterministic and side-effect free: the same action
+    always produces the same ruling.  An optional
+    :class:`~repro.core.caselaw.AuthorityRegistry` validates that every
+    citation emitted by the rule modules actually exists.
+    """
+
+    def __init__(self, registry: AuthorityRegistry | None = None) -> None:
+        self._registry = registry or build_default_registry()
+
+    @property
+    def registry(self) -> AuthorityRegistry:
+        """The authority registry rulings cite into."""
+        return self._registry
+
+    def evaluate(self, action: InvestigativeAction) -> Ruling:
+        """Produce a :class:`Ruling` for one investigative action."""
+        privacy = analyze_privacy(action)
+
+        requirements: list[Requirement] = []
+        for requirement in (
+            fourth_amendment.evaluate(action, privacy),
+            wiretap.evaluate(action),
+            sca.evaluate(action),
+            pentrap.evaluate(action),
+        ):
+            if requirement is not None:
+                requirements.append(requirement)
+
+        exceptions = list(gather_exceptions(action))
+        exceptions.extend(self._statutory_exceptions(action))
+
+        eliminated = frozenset().union(*(e.eliminates for e in exceptions)) if exceptions else frozenset()
+        surviving = [r for r in requirements if r.source not in eliminated]
+
+        required_process = max(
+            (r.process for r in surviving), default=ProcessKind.NONE
+        )
+
+        steps = self._flatten_steps(privacy.steps, requirements, exceptions)
+        self._check_citations(steps)
+
+        return Ruling(
+            required_process=required_process,
+            requirements=tuple(requirements),
+            exceptions=tuple(exceptions),
+            privacy=privacy,
+            steps=steps,
+        )
+
+    def _statutory_exceptions(
+        self, action: InvestigativeAction
+    ) -> list[AppliedException]:
+        """Statute-internal exceptions, recorded for the ruling's trace.
+
+        These never eliminate anything at this layer — the statute modules
+        already withheld their requirements — but surfacing them keeps the
+        trace complete, so a reader can see *why* Title III or the
+        Pen/Trap statute stayed silent.
+        """
+        recorded: list[AppliedException] = []
+        if wiretap.applies(action):
+            found = wiretap.statutory_exception(action)
+            if found is not None:
+                kind, step = found
+                recorded.append(
+                    AppliedException(
+                        kind=kind, eliminates=frozenset(), step=step
+                    )
+                )
+        if pentrap.applies(action):
+            found = pentrap.statutory_exception(action)
+            if found is not None:
+                kind, step = found
+                recorded.append(
+                    AppliedException(
+                        kind=kind, eliminates=frozenset(), step=step
+                    )
+                )
+        return recorded
+
+    @staticmethod
+    def _flatten_steps(
+        privacy_steps: tuple[ReasoningStep, ...],
+        requirements: list[Requirement],
+        exceptions: list[AppliedException],
+    ) -> tuple[ReasoningStep, ...]:
+        """Flatten all reasoning into one ordered, de-duplicated trace."""
+        steps: list[ReasoningStep] = list(privacy_steps)
+        for requirement in requirements:
+            steps.extend(requirement.steps)
+        steps.extend(exception.step for exception in exceptions)
+        seen: set[tuple[str, str]] = set()
+        unique: list[ReasoningStep] = []
+        for step in steps:
+            key = (step.source.value, step.text)
+            if key not in seen:
+                seen.add(key)
+                unique.append(step)
+        return tuple(unique)
+
+    def _check_citations(self, steps: tuple[ReasoningStep, ...]) -> None:
+        """Every citation a rule emits must exist in the registry."""
+        for step in steps:
+            for key in step.authorities:
+                if key not in self._registry:
+                    raise KeyError(
+                        f"reasoning step cites unknown authority {key!r}: "
+                        f"{step.text}"
+                    )
+
+
+def evaluate(action: InvestigativeAction) -> Ruling:
+    """Module-level convenience wrapper around a default engine."""
+    return _default_engine().evaluate(action)
+
+
+_ENGINE: ComplianceEngine | None = None
+
+
+def _default_engine() -> ComplianceEngine:
+    """Lazily constructed singleton engine for the convenience API."""
+    global _ENGINE
+    if _ENGINE is None:
+        _ENGINE = ComplianceEngine()
+    return _ENGINE

@@ -1,0 +1,128 @@
+"""The magistrate: grants or denies applications for process.
+
+Implements the paper's section II.A ladder: a subpoena issues on mere
+suspicion, a court order on specific and articulable facts, a search
+warrant on probable cause (with particularity), and a Title III order on
+probable cause plus necessity.  Staleness is handled the way the courts
+do (section III.A.1(c)): old facts usually still support probable cause,
+but the magistrate discounts facts past a staleness horizon when they are
+the *only* support.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.enums import REQUIRED_SHOWING, ProcessKind, Standard
+from repro.court.application import ProcessApplication
+from repro.court.docket import DEFAULT_VALIDITY, Docket, IssuedProcess
+
+
+@dataclasses.dataclass(frozen=True)
+class Decision:
+    """The magistrate's decision on one application."""
+
+    granted: bool
+    reason: str
+    instrument: IssuedProcess | None = None
+
+
+class Magistrate:
+    """A deterministic magistrate applying the standards ladder.
+
+    Args:
+        docket: The docket to file issued instruments on.
+        staleness_horizon: Age (seconds) past which a fact is treated as
+            stale.  ``None`` disables staleness discounting entirely,
+            matching the line of cases holding information "sufficient to
+            establish the probable cause no matter how old it is".
+    """
+
+    def __init__(
+        self,
+        docket: Docket | None = None,
+        staleness_horizon: float | None = None,
+    ) -> None:
+        self.docket = docket or Docket()
+        self.staleness_horizon = staleness_horizon
+
+    def review(self, application: ProcessApplication) -> Decision:
+        """Review an application and issue an instrument if it qualifies."""
+        required = REQUIRED_SHOWING[application.kind]
+        showing = self._effective_showing(application)
+
+        if application.kind is ProcessKind.NONE:
+            decision = Decision(
+                granted=False,
+                reason="no instrument exists for 'no process'",
+            )
+            self.docket.record_application(False)
+            return decision
+
+        if not showing.satisfies(required):
+            decision = Decision(
+                granted=False,
+                reason=(
+                    f"showing of {showing.name.lower().replace('_', ' ')} "
+                    f"does not meet the required "
+                    f"{required.name.lower().replace('_', ' ')}"
+                ),
+            )
+            self.docket.record_application(False)
+            return decision
+
+        if not application.is_particular():
+            decision = Decision(
+                granted=False,
+                reason=(
+                    "warrant application lacks particularity: it must "
+                    "describe the place to be searched and the things to "
+                    "be seized"
+                ),
+            )
+            self.docket.record_application(False)
+            return decision
+
+        if not application.shows_necessity():
+            decision = Decision(
+                granted=False,
+                reason=(
+                    "Title III application lacks the 2518(1)(c) necessity "
+                    "showing: it must explain why normal investigative "
+                    "procedures have been tried and failed or appear "
+                    "unlikely to succeed"
+                ),
+            )
+            self.docket.record_application(False)
+            return decision
+
+        instrument = IssuedProcess(
+            kind=application.kind,
+            issued_to=application.applicant,
+            issued_at=application.applied_at,
+            expires_at=(
+                application.applied_at + DEFAULT_VALIDITY[application.kind]
+            ),
+            scope=application.target_place or "as described in application",
+        )
+        self.docket.record_application(True)
+        self.docket.file(instrument)
+        return Decision(
+            granted=True,
+            reason=f"showing satisfies {required.name.lower().replace('_', ' ')}",
+            instrument=instrument,
+        )
+
+    def _effective_showing(self, application: ProcessApplication) -> Standard:
+        """The application's showing after staleness discounting."""
+        if self.staleness_horizon is None:
+            return application.showing()
+        fresh = [
+            fact
+            for fact in application.facts
+            if application.applied_at - fact.observed_at
+            <= self.staleness_horizon
+        ]
+        if not fresh:
+            return Standard.NOTHING
+        return max(fact.supports for fact in fresh)

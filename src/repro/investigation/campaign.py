@@ -1,0 +1,122 @@
+"""Campaign simulation: prosecution success as a function of compliance.
+
+The paper's thesis, aggregated: techniques used without the required
+process produce suppressed evidence and failed prosecutions.  A campaign
+runs many randomized cases — each drawing a Table 1 scene — with the
+officer obtaining the required process with a configurable probability,
+and measures the prosecution success rate.  The success curve is monotone
+in the compliance probability, saturating at 100% under full compliance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from repro.core.engine import ComplianceEngine
+from repro.core.scenarios import Scenario, build_table1
+from repro.investigation.pipeline import InvestigationPipeline, SceneOutcome
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignConfig:
+    """Parameters of one campaign.
+
+    Attributes:
+        n_cases: Number of randomized cases to run.
+        comply_probability: Per-case probability the officer seeks the
+            required process before acting.
+        seed: RNG seed for scene selection and compliance draws.
+    """
+
+    n_cases: int = 100
+    comply_probability: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_cases < 1:
+            raise ValueError("n_cases must be positive")
+        if not 0.0 <= self.comply_probability <= 1.0:
+            raise ValueError("comply_probability must be a probability")
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignResult:
+    """Aggregate outcome of a campaign.
+
+    Attributes:
+        config: The campaign's parameters.
+        outcomes: Every case's scene outcome, in order.
+        successes: Cases whose evidence was admitted.
+        suppressed: Cases whose evidence was excluded.
+    """
+
+    config: CampaignConfig
+    outcomes: tuple[SceneOutcome, ...]
+    successes: int
+    suppressed: int
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of cases ending with admissible evidence."""
+        return self.successes / len(self.outcomes) if self.outcomes else 0.0
+
+    def success_rate_for(self, needs_process: bool) -> float:
+        """Success rate restricted to scenes (not) needing process."""
+        relevant = [
+            outcome
+            for outcome in self.outcomes
+            if outcome.ruling.needs_process == needs_process
+        ]
+        if not relevant:
+            return 0.0
+        return sum(not o.suppressed for o in relevant) / len(relevant)
+
+
+def run_campaign(
+    config: CampaignConfig,
+    scenarios: tuple[Scenario, ...] | None = None,
+    engine: ComplianceEngine | None = None,
+) -> CampaignResult:
+    """Run one campaign of randomized cases.
+
+    Args:
+        config: Campaign parameters.
+        scenarios: Scene pool to draw from (defaults to Table 1).
+        engine: Compliance engine to share across cases.
+    """
+    scenarios = scenarios or build_table1()
+    pipeline = InvestigationPipeline(engine)
+    rng = random.Random(config.seed)
+
+    outcomes: list[SceneOutcome] = []
+    successes = 0
+    for __ in range(config.n_cases):
+        scenario = rng.choice(scenarios)
+        complies = rng.random() < config.comply_probability
+        outcome = pipeline.run_scene(scenario, obtain_process=complies)
+        outcomes.append(outcome)
+        successes += not outcome.suppressed
+
+    return CampaignResult(
+        config=config,
+        outcomes=tuple(outcomes),
+        successes=successes,
+        suppressed=config.n_cases - successes,
+    )
+
+
+def compliance_curve(
+    probabilities: list[float],
+    n_cases: int = 100,
+    seed: int = 0,
+) -> dict[float, float]:
+    """Success rate at each compliance probability (the thesis curve)."""
+    return {
+        p: run_campaign(
+            CampaignConfig(
+                n_cases=n_cases, comply_probability=p, seed=seed
+            )
+        ).success_rate
+        for p in probabilities
+    }

@@ -1,0 +1,164 @@
+"""End-to-end investigation pipelines.
+
+Closes the paper's loop for any scene: rule on the acquisition, optionally
+obtain the required process from a magistrate, perform the acquisition,
+and take the resulting evidence to a suppression hearing.  The suppression
+benchmark drives this pipeline across all twenty Table 1 scenes both ways
+(complying and not) and checks the 100%/0% suppression split.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.engine import ComplianceEngine
+from repro.core.enums import Admissibility, ProcessKind, Standard
+from repro.core.ruling import Ruling
+from repro.core.scenarios import Scenario
+from repro.court.application import Fact
+from repro.court.magistrate import Magistrate
+from repro.court.suppression import SuppressionHearing
+from repro.evidence.items import EvidenceItem
+from repro.investigation.case import Case
+from repro.investigation.investigator import Investigator
+
+
+@dataclasses.dataclass(frozen=True)
+class SceneOutcome:
+    """Everything that happened running one scene through the pipeline.
+
+    Attributes:
+        scenario: The Table 1 scene run.
+        ruling: The engine's ruling on the scene's action.
+        process_obtained: The instrument kind obtained (NONE if none was
+            sought or granted).
+        evidence: The evidence item the acquisition produced.
+        admissibility: The suppression hearing's outcome for it.
+    """
+
+    scenario: Scenario
+    ruling: Ruling
+    process_obtained: ProcessKind
+    evidence: EvidenceItem
+    admissibility: Admissibility
+
+    @property
+    def suppressed(self) -> bool:
+        """Whether the evidence was excluded."""
+        return self.admissibility is not Admissibility.ADMISSIBLE
+
+
+class InvestigationPipeline:
+    """Runs Table 1 scenes end to end, complying or not."""
+
+    def __init__(self, engine: ComplianceEngine | None = None) -> None:
+        self.engine = engine or ComplianceEngine()
+        self.hearing = SuppressionHearing(self.engine)
+
+    def run_scene(
+        self,
+        scenario: Scenario,
+        obtain_process: bool,
+        time: float = 0.0,
+    ) -> SceneOutcome:
+        """Run one scene.
+
+        Args:
+            scenario: The scene to run.
+            obtain_process: If ``True``, the investigator first applies
+                for (and, with probable cause on file, receives) whatever
+                process the engine says the scene needs; if ``False`` the
+                officer barges ahead with nothing.
+            time: Simulation time of the acquisition.
+
+        Returns:
+            The complete :class:`SceneOutcome`.
+        """
+        ruling = self.engine.evaluate(scenario.action)
+        magistrate = Magistrate()
+        investigator = Investigator(
+            f"officer-scene-{scenario.number}",
+            magistrate=magistrate,
+            engine=self.engine,
+        )
+
+        obtained = ProcessKind.NONE
+        if obtain_process and ruling.required_process is not ProcessKind.NONE:
+            case = self._case_with_full_showing(scenario)
+            decision = investigator.apply_for(
+                ruling.required_process,
+                case,
+                time=time,
+                target_place=f"scene {scenario.number} target",
+                target_items=("records described in the application",),
+                necessity_statement=(
+                    "conventional techniques cannot reach the anonymized "
+                    "or encrypted traffic at issue (stipulated)"
+                ),
+            )
+            if decision.granted and decision.instrument is not None:
+                obtained = decision.instrument.kind
+
+        evidence = investigator.act(
+            scenario.action,
+            time=time,
+            content=f"data acquired in scene {scenario.number}",
+            comply=False,  # the hearing, not the officer, is the check here
+        )
+        outcome = self.hearing.hear([evidence])
+        return SceneOutcome(
+            scenario=scenario,
+            ruling=ruling,
+            process_obtained=obtained,
+            evidence=evidence,
+            admissibility=outcome.outcome_for(evidence),
+        )
+
+    @staticmethod
+    def _case_with_full_showing(scenario: Scenario) -> Case:
+        """A case whose facts support any process up to a Title III order."""
+        case = Case(
+            name=f"scene-{scenario.number}",
+            description=scenario.action.description,
+        )
+        case.add_fact(
+            Fact(
+                description=(
+                    "wiretap-grade showing: probable cause plus necessity "
+                    "(stipulated for the pipeline experiment)"
+                ),
+                supports=Standard.SUPER_WARRANT_SHOWING,
+            )
+        )
+        return case
+
+    def run_all(
+        self, scenarios: tuple[Scenario, ...], obtain_process: bool
+    ) -> list[SceneOutcome]:
+        """Run every scene one way and return the outcomes."""
+        return [
+            self.run_scene(scenario, obtain_process=obtain_process)
+            for scenario in scenarios
+        ]
+
+
+def suppression_split(
+    outcomes: list[SceneOutcome],
+) -> tuple[float, float]:
+    """Suppression rates for (process-requiring, no-process) scenes.
+
+    The paper's implied result: without process, every scene that needs
+    process is suppressed (rate 1.0) and every scene that needs none is
+    admitted (rate 0.0).
+    """
+    need = [o for o in outcomes if o.ruling.needs_process]
+    no_need = [o for o in outcomes if not o.ruling.needs_process]
+    need_rate = (
+        sum(o.suppressed for o in need) / len(need) if need else 0.0
+    )
+    no_need_rate = (
+        sum(o.suppressed for o in no_need) / len(no_need)
+        if no_need
+        else 0.0
+    )
+    return need_rate, no_need_rate

@@ -1,0 +1,114 @@
+"""Point-to-point wired links.
+
+A link connects exactly two nodes, delays packets by a (possibly jittered)
+latency, serializes them at a finite bandwidth, and shows every passing
+packet to its attached taps at the moment of transmission — the vantage
+point a collection device at an ISP or gateway would have.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import Packet
+from repro.netsim.sniffer import Tap
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.netsim.node import Node
+
+
+class Link:
+    """A bidirectional wired link between two nodes.
+
+    Args:
+        sim: The simulator driving delivery events.
+        a: One endpoint.
+        b: The other endpoint.
+        latency: One-way propagation delay in seconds.
+        bandwidth: Bytes per second; ``None`` means infinite.
+        jitter: Fractional jitter; each transit is delayed by
+            ``latency * (1 + U(0, jitter))``.
+        rng: Random source for jitter (pass a seeded one for determinism).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        a: "Node",
+        b: "Node",
+        latency: float = 0.01,
+        bandwidth: float | None = None,
+        jitter: float = 0.0,
+        rng: random.Random | None = None,
+    ) -> None:
+        if latency < 0:
+            raise ValueError(f"negative latency: {latency}")
+        if jitter < 0:
+            raise ValueError(f"negative jitter: {jitter}")
+        self.sim = sim
+        self.a = a
+        self.b = b
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.jitter = jitter
+        self._rng = rng or random.Random(0)
+        self._taps: list[Tap] = []
+        #: Earliest time each direction's transmitter is free again, used
+        #: to serialize packets at finite bandwidth.
+        self._free_at: dict[int, float] = {id(a): 0.0, id(b): 0.0}
+        a.attach_link(self)
+        b.attach_link(self)
+
+    def attach_tap(self, tap: Tap) -> None:
+        """Attach a collection device to this link."""
+        self._taps.append(tap)
+
+    def detach_tap(self, tap: Tap) -> None:
+        """Remove a previously attached tap."""
+        self._taps.remove(tap)
+
+    @property
+    def taps(self) -> tuple[Tap, ...]:
+        """Currently attached taps."""
+        return tuple(self._taps)
+
+    def other_end(self, node: "Node") -> "Node":
+        """The endpoint opposite ``node``.
+
+        Raises:
+            ValueError: If ``node`` is not an endpoint of this link.
+        """
+        if node is self.a:
+            return self.b
+        if node is self.b:
+            return self.a
+        raise ValueError(f"{node!r} is not an endpoint of this link")
+
+    def transmit(self, packet: Packet, sender: "Node") -> None:
+        """Send a packet from one endpoint toward the other.
+
+        Taps see the packet at the moment transmission begins; delivery is
+        scheduled after serialization plus (jittered) propagation delay.
+        """
+        receiver = self.other_end(sender)
+        now = self.sim.now
+
+        for tap in self._taps:
+            tap.observe(packet, now)
+
+        serialization = 0.0
+        if self.bandwidth is not None:
+            serialization = packet.size / self.bandwidth
+        start = max(now, self._free_at[id(sender)])
+        self._free_at[id(sender)] = start + serialization
+
+        delay = self.latency
+        if self.jitter > 0:
+            delay *= 1.0 + self._rng.uniform(0.0, self.jitter)
+        arrival_offset = (start - now) + serialization + delay
+
+        self.sim.schedule(
+            arrival_offset, lambda: receiver.receive(packet, self)
+        )

@@ -1,0 +1,215 @@
+"""The forensic examination workflow (paper section III.A.2).
+
+Once data is responsive to a warrant, "the Fourth Amendment does not limit
+the techniques an examiner may use to examine a hard drive ... nor imposes
+any specific limitation on the time period of the government's forensic
+examination" (III.A.2(c), citing Long/Burns/Mutschelknaus).  This module
+is that examiner: image, verify, enumerate, recover, carve, hash, and
+timeline — everything an off-site lab does with a seized drive, packaged
+as one auditable workflow.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.storage.blockdev import image_device
+from repro.storage.carving import (
+    DEFAULT_SIGNATURES,
+    CarvedFile,
+    FileSignature,
+    carve,
+)
+from repro.storage.filesystem import SimpleFilesystem
+from repro.storage.hashing import KnownFileSet, sha256_hex
+
+
+class TimelineEventKind(enum.Enum):
+    """Kinds of events the examiner places on the timeline."""
+
+    FILE_CREATED = "file created"
+    FILE_DELETED = "file deleted"
+    FILE_RECOVERED = "deleted file recovered"
+    ARTIFACT_CARVED = "artifact carved from unallocated space"
+    KNOWN_FILE_HIT = "known-file hash hit"
+
+
+@dataclasses.dataclass(frozen=True)
+class TimelineEvent:
+    """One event on the reconstructed timeline.
+
+    Attributes:
+        order: Logical timestamp (the filesystem's operation counter); the
+            examiner orders events by it.
+        kind: What happened.
+        subject: The file or artifact involved.
+        detail: Extra context (hash, offsets, ...).
+    """
+
+    order: float
+    kind: TimelineEventKind
+    subject: str
+    detail: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class ExaminationReport:
+    """Everything one examination produced.
+
+    Attributes:
+        image_hash: SHA-256 of the working image.
+        image_verified: Whether the image matched the original bit for bit.
+        live_files: Name -> hash of every live file.
+        recovered_files: Name -> hash of every recovered deleted file.
+        carved_artifacts: Signature-carved artifacts from the raw image.
+        known_file_hits: Files (live or recovered) whose hashes matched
+            the known set.
+        timeline: Ordered reconstruction of filesystem activity.
+    """
+
+    image_hash: str
+    image_verified: bool
+    live_files: dict[str, str]
+    recovered_files: dict[str, str]
+    carved_artifacts: tuple[CarvedFile, ...]
+    known_file_hits: tuple[str, ...]
+    timeline: tuple[TimelineEvent, ...]
+
+    @property
+    def total_files_examined(self) -> int:
+        """Live plus recovered files hashed during the examination."""
+        return len(self.live_files) + len(self.recovered_files)
+
+    def summary(self) -> str:
+        """One-paragraph human-readable summary."""
+        return (
+            f"image {self.image_hash[:12]}… "
+            f"({'verified' if self.image_verified else 'MISMATCH'}); "
+            f"{len(self.live_files)} live files, "
+            f"{len(self.recovered_files)} recovered, "
+            f"{len(self.carved_artifacts)} carved artifacts, "
+            f"{len(self.known_file_hits)} known-file hits, "
+            f"{len(self.timeline)} timeline events"
+        )
+
+
+class ForensicExaminer:
+    """Runs the full off-site examination over a seized filesystem.
+
+    Args:
+        known_files: Hash set to screen every file against.
+        signatures: Carving signatures to hunt in unallocated space.
+    """
+
+    def __init__(
+        self,
+        known_files: KnownFileSet | None = None,
+        signatures: tuple[FileSignature, ...] = DEFAULT_SIGNATURES,
+    ) -> None:
+        self.known_files = known_files or KnownFileSet()
+        self.signatures = signatures
+
+    def examine(self, filesystem: SimpleFilesystem) -> ExaminationReport:
+        """Examine a seized filesystem end to end.
+
+        The original device is imaged first and all analysis runs against
+        the image's raw bytes plus the filesystem's metadata — the
+        original is never modified (reads only).
+        """
+        image = image_device(filesystem.device)
+        image_verified = image.sha256() == filesystem.device.sha256()
+
+        live_files = {
+            name: sha256_hex(filesystem.read_file(name))
+            for name in filesystem.list_files()
+        }
+        recovered = {
+            name: sha256_hex(data)
+            for name, data in filesystem.recover_deleted().items()
+        }
+        carved = tuple(carve(image, self.signatures))
+
+        hits = tuple(
+            sorted(
+                name
+                for name, digest in {**live_files, **recovered}.items()
+                if self.known_files.contains_hash(digest)
+            )
+        )
+
+        timeline = self._build_timeline(
+            filesystem, live_files, recovered, carved, set(hits)
+        )
+        return ExaminationReport(
+            image_hash=image.sha256(),
+            image_verified=image_verified,
+            live_files=live_files,
+            recovered_files=recovered,
+            carved_artifacts=carved,
+            known_file_hits=hits,
+            timeline=timeline,
+        )
+
+    def _build_timeline(
+        self,
+        filesystem: SimpleFilesystem,
+        live_files: dict[str, str],
+        recovered: dict[str, str],
+        carved: tuple[CarvedFile, ...],
+        hits: set[str],
+    ) -> tuple[TimelineEvent, ...]:
+        events: list[TimelineEvent] = []
+        for name in live_files:
+            inode = filesystem._inodes[name]  # noqa: SLF001 - examiner reads metadata
+            events.append(
+                TimelineEvent(
+                    order=inode.created_at,
+                    kind=TimelineEventKind.FILE_CREATED,
+                    subject=name,
+                    detail=f"sha256={live_files[name][:12]}…",
+                )
+            )
+        for inode in filesystem._deleted:  # noqa: SLF001
+            events.append(
+                TimelineEvent(
+                    order=inode.created_at,
+                    kind=TimelineEventKind.FILE_CREATED,
+                    subject=inode.name,
+                )
+            )
+            events.append(
+                TimelineEvent(
+                    order=inode.deleted_at,
+                    kind=TimelineEventKind.FILE_DELETED,
+                    subject=inode.name,
+                )
+            )
+            if inode.name in recovered:
+                events.append(
+                    TimelineEvent(
+                        order=inode.deleted_at,
+                        kind=TimelineEventKind.FILE_RECOVERED,
+                        subject=inode.name,
+                        detail=f"sha256={recovered[inode.name][:12]}…",
+                    )
+                )
+        for artifact in carved:
+            events.append(
+                TimelineEvent(
+                    order=float("inf"),  # carving has no FS timestamp
+                    kind=TimelineEventKind.ARTIFACT_CARVED,
+                    subject=f"{artifact.signature}@{artifact.start_offset}",
+                    detail=f"{len(artifact.contents)} bytes",
+                )
+            )
+        for name in sorted(hits):
+            events.append(
+                TimelineEvent(
+                    order=float("inf"),
+                    kind=TimelineEventKind.KNOWN_FILE_HIT,
+                    subject=name,
+                )
+            )
+        events.sort(key=lambda e: (e.order, e.kind.value, e.subject))
+        return tuple(events)

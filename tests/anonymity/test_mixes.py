@@ -1,0 +1,106 @@
+"""Unit and property tests for the batching mix strategies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anonymity.mixes import NoMix, PoolMix, ThresholdMix, TimedMix
+
+ARRIVALS = [0.1, 0.4, 0.9, 1.1, 1.6, 2.05, 2.4, 3.7]
+
+
+class TestNoMix:
+    def test_identity(self):
+        assert NoMix().apply(ARRIVALS) == sorted(ARRIVALS)
+
+
+class TestTimedMix:
+    def test_quantizes_to_ticks(self):
+        releases = TimedMix(interval=1.0).apply([0.1, 0.9, 1.5, 2.0])
+        assert releases == [1.0, 1.0, 2.0, 2.0]
+
+    def test_never_early(self):
+        releases = TimedMix(interval=0.7).apply(ARRIVALS)
+        for arrival, release in zip(sorted(ARRIVALS), releases):
+            assert release >= arrival
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimedMix(interval=0)
+
+
+class TestThresholdMix:
+    def test_batches_of_k(self):
+        releases = ThresholdMix(k=3).apply([1.0, 2.0, 3.0, 4.0, 5.0])
+        # First batch of 3 leaves at t=3; the remainder at t=5.
+        assert releases == [3.0, 3.0, 3.0, 5.0, 5.0]
+
+    def test_k_one_is_identity(self):
+        assert ThresholdMix(k=1).apply(ARRIVALS) == sorted(ARRIVALS)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdMix(k=0)
+
+
+class TestPoolMix:
+    def test_count_preserved(self):
+        releases = PoolMix(round_interval=0.5, seed=1).apply(ARRIVALS)
+        assert len(releases) == len(ARRIVALS)
+
+    def test_never_early(self):
+        releases = PoolMix(round_interval=0.5, seed=2).apply(ARRIVALS)
+        # Releases happen at tick boundaries after arrival: every release
+        # must be at or after the earliest arrival.
+        assert min(releases) >= min(ARRIVALS)
+
+    def test_empty(self):
+        assert PoolMix(round_interval=0.5).apply([]) == []
+
+    def test_max_hold_bounds_delay(self):
+        mix = PoolMix(
+            round_interval=0.5,
+            release_fraction=0.01,
+            seed=3,
+            max_rounds_held=4,
+        )
+        releases = mix.apply([0.1])
+        # Held at most max_rounds_held rounds past the first tick.
+        assert releases[0] <= 0.5 * (1 + 4) + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoolMix(round_interval=0)
+        with pytest.raises(ValueError):
+            PoolMix(round_interval=1.0, release_fraction=0)
+        with pytest.raises(ValueError):
+            PoolMix(round_interval=1.0, release_fraction=1.5)
+
+
+arrival_lists = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=0,
+    max_size=60,
+)
+
+
+@pytest.mark.parametrize(
+    "mix_factory",
+    [
+        NoMix,
+        lambda: TimedMix(interval=0.9),
+        lambda: ThresholdMix(k=4),
+        lambda: PoolMix(round_interval=0.8, seed=7),
+    ],
+    ids=["none", "timed", "threshold", "pool"],
+)
+@given(arrivals=arrival_lists)
+@settings(max_examples=50, deadline=None)
+def test_mix_invariants(mix_factory, arrivals):
+    """Every mix preserves cell count, sorts output, never releases early."""
+    mix = mix_factory()
+    releases = mix.apply(arrivals)
+    assert len(releases) == len(arrivals)
+    assert releases == sorted(releases)
+    if arrivals:
+        assert min(releases) >= min(arrivals) - 1e-9

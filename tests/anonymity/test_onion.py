@@ -1,0 +1,169 @@
+"""Unit tests for the onion-routing network."""
+
+import pytest
+
+from repro.anonymity.onion import (
+    Circuit,
+    HiddenService,
+    OnionNetwork,
+    Relay,
+)
+from repro.netsim.engine import Simulator
+
+
+@pytest.fixture()
+def network():
+    return OnionNetwork(Simulator(), n_relays=10, seed=4)
+
+
+class TestRelay:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Relay("bad", base_delay=-0.1)
+
+    def test_forwarding_delay_at_least_base(self):
+        import random
+
+        relay = Relay("r", base_delay=0.02, jitter=0.5)
+        rng = random.Random(0)
+        delays = [relay.forwarding_delay(rng) for _ in range(200)]
+        assert all(d >= 0.02 for d in delays)
+        assert relay.cells_forwarded == 200
+
+    def test_zero_jitter_is_deterministic(self):
+        import random
+
+        relay = Relay("r", base_delay=0.02, jitter=0.0)
+        rng = random.Random(0)
+        assert relay.forwarding_delay(rng) == 0.02
+
+
+class TestCircuitConstruction:
+    def test_default_three_hops(self, network):
+        circuit = network.build_circuit("client", "server")
+        assert circuit.path_length() == 3
+        assert len(set(id(r) for r in circuit.relays)) == 3
+
+    def test_too_many_hops_rejected(self, network):
+        with pytest.raises(ValueError):
+            network.build_circuit("c", "s", n_hops=11)
+
+    def test_empty_relay_list_rejected(self, network):
+        import random
+
+        with pytest.raises(ValueError):
+            Circuit(
+                network.sim, "c", "s", relays=[], rng=random.Random(0)
+            )
+
+    def test_no_relays_network_rejected(self):
+        with pytest.raises(ValueError):
+            OnionNetwork(Simulator(), n_relays=0)
+
+    def test_circuit_ids_unique(self, network):
+        a = network.build_circuit("c1", "s")
+        b = network.build_circuit("c2", "s")
+        assert a.circuit_id != b.circuit_id
+
+    def test_circuits_registered(self, network):
+        network.build_circuit("c", "s")
+        assert len(network.circuits) == 1
+
+
+class TestCellTransit:
+    def test_downstream_cell_arrives_later(self, network):
+        circuit = network.build_circuit("client", "server")
+        circuit.send_downstream()
+        network.sim.run()
+        assert len(circuit.server_side_log) == 1
+        assert len(circuit.client_side_log) == 1
+        sent = circuit.server_side_log[0].timestamp
+        arrived = circuit.client_side_log[0].timestamp
+        # 3 relays * base 0.02 + 4 links * 0.01 minimum transit
+        assert arrived - sent >= 0.10
+
+    def test_upstream_cell_transits_symmetrically(self, network):
+        circuit = network.build_circuit("client", "server")
+        circuit.send_upstream()
+        network.sim.run()
+        assert len(circuit.client_side_log) == 1
+        assert len(circuit.server_side_log) == 1
+
+    def test_ordering_of_departures_preserved_in_expectation(self, network):
+        circuit = network.build_circuit("client", "server")
+        for i in range(20):
+            network.sim.schedule(i * 0.5, circuit.send_downstream)
+        network.sim.run()
+        arrivals = circuit.client_arrival_times()
+        assert len(arrivals) == 20
+        # Widely spaced cells keep order despite jitter.
+        assert arrivals == sorted(arrivals)
+
+    def test_observation_logs_carry_sizes(self, network):
+        circuit = network.build_circuit("client", "server")
+        circuit.send_downstream(size=1024)
+        network.sim.run()
+        assert circuit.server_side_log[0].size == 1024
+        assert circuit.client_side_log[0].size == 1024
+
+    def test_cells_sent_counter(self, network):
+        circuit = network.build_circuit("client", "server")
+        circuit.send_downstream()
+        circuit.send_upstream()
+        assert circuit.cells_sent == 2
+
+
+class TestPacketLoss:
+    def test_loss_rate_validation(self):
+        with pytest.raises(ValueError):
+            OnionNetwork(Simulator(), n_relays=3, loss_rate=1.0).build_circuit(
+                "c", "s"
+            )
+
+    def test_zero_loss_delivers_everything(self, network):
+        circuit = network.build_circuit("c", "s")
+        for __ in range(50):
+            circuit.send_downstream()
+        network.sim.run()
+        assert len(circuit.client_side_log) == 50
+        assert circuit.cells_lost == 0
+
+    def test_lossy_circuit_drops_cells(self):
+        sim = Simulator()
+        net = OnionNetwork(sim, n_relays=5, seed=3, loss_rate=0.5)
+        circuit = net.build_circuit("c", "s")
+        for __ in range(200):
+            circuit.send_downstream()
+        sim.run()
+        delivered = len(circuit.client_side_log)
+        assert circuit.cells_lost + delivered == 200
+        assert 40 < delivered < 160  # ~Binomial(200, 0.5)
+
+    def test_server_side_log_sees_every_send(self):
+        sim = Simulator()
+        net = OnionNetwork(sim, n_relays=5, seed=4, loss_rate=0.5)
+        circuit = net.build_circuit("c", "s")
+        for __ in range(30):
+            circuit.send_downstream()
+        sim.run()
+        # Loss happens in the network, after the server-side tap.
+        assert len(circuit.server_side_log) == 30
+
+
+class TestHiddenService:
+    def test_accounts(self, network):
+        service = HiddenService(network, "hidden-market")
+        service.register_account("buyer-1")
+        service.store("buyer-1", "download: file-9")
+        assert service.accounts["buyer-1"] == ["download: file-9"]
+
+    def test_store_unknown_account_raises(self, network):
+        service = HiddenService(network, "hidden-market")
+        with pytest.raises(KeyError):
+            service.store("ghost", "x")
+
+    def test_connect_builds_circuit_to_service(self, network):
+        service = HiddenService(network, "hidden-market")
+        circuit = service.connect("visitor")
+        assert circuit.server == "hidden-market"
+        assert circuit.client == "visitor"

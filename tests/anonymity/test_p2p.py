@@ -1,0 +1,172 @@
+"""Unit tests for the friend-to-friend P2P overlay."""
+
+import statistics
+
+import pytest
+
+from repro.anonymity.p2p import P2POverlay, TimingParameters
+
+
+class TestTopology:
+    def test_add_peer(self):
+        overlay = P2POverlay(seed=1)
+        peer = overlay.add_peer("p", files={"f"})
+        assert peer.has_file("f")
+        assert not peer.has_file("g")
+
+    def test_duplicate_peer_rejected(self):
+        overlay = P2POverlay(seed=1)
+        overlay.add_peer("p")
+        with pytest.raises(ValueError):
+            overlay.add_peer("p")
+
+    def test_befriend_is_symmetric(self):
+        overlay = P2POverlay(seed=1)
+        overlay.add_peer("a")
+        overlay.add_peer("b")
+        overlay.befriend("a", "b", latency=0.02)
+        assert overlay.peers["a"].friends["b"] == 0.02
+        assert overlay.peers["b"].friends["a"] == 0.02
+
+    def test_self_friendship_rejected(self):
+        overlay = P2POverlay(seed=1)
+        overlay.add_peer("a")
+        with pytest.raises(ValueError):
+            overlay.befriend("a", "a")
+
+    def test_random_topology_is_connected(self):
+        overlay = P2POverlay(seed=7)
+        overlay.random_topology(50, mean_degree=3.0)
+        # BFS from an arbitrary peer must reach everyone.
+        start = next(iter(overlay.peers))
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            for friend in overlay.peers[current].friends:
+                if friend not in seen:
+                    seen.add(friend)
+                    frontier.append(friend)
+        assert seen == set(overlay.peers)
+
+    def test_random_topology_source_count(self):
+        overlay = P2POverlay(seed=7)
+        sources = overlay.random_topology(
+            100, source_fraction=0.1, file_id="f"
+        )
+        assert len(sources) == 10
+        assert all(overlay.is_source(s, "f") for s in sources)
+
+    def test_mean_degree_approximate(self):
+        overlay = P2POverlay(seed=7)
+        overlay.random_topology(100, mean_degree=4.0)
+        degrees = [len(p.friends) for p in overlay.peers.values()]
+        assert 3.0 <= statistics.mean(degrees) <= 5.0
+
+
+class TestQueryMechanics:
+    def build(self):
+        overlay = P2POverlay(seed=3)
+        overlay.add_peer("origin")
+        overlay.add_peer("source", files={"f"})
+        overlay.add_peer("relay")
+        overlay.add_peer("far-source", files={"f"})
+        overlay.befriend("origin", "source", latency=0.02)
+        overlay.befriend("origin", "relay", latency=0.02)
+        overlay.befriend("relay", "far-source", latency=0.02)
+        return overlay
+
+    def test_direct_source_responds(self):
+        overlay = self.build()
+        records = overlay.query("origin", "f", ttl=3, trials=1)
+        neighbors = {r.neighbor for r in records}
+        assert "source" in neighbors
+
+    def test_far_source_reached_via_relay(self):
+        overlay = self.build()
+        records = overlay.query("origin", "f", ttl=3, trials=1)
+        assert "relay" in {r.neighbor for r in records}
+
+    def test_ttl_limits_reach(self):
+        overlay = self.build()
+        records = overlay.query("origin", "f", ttl=1, trials=1)
+        # ttl=1: neighbours may answer but not forward.
+        assert {r.neighbor for r in records} == {"source"}
+
+    def test_unknown_origin_rejected(self):
+        overlay = self.build()
+        with pytest.raises(KeyError):
+            overlay.query("ghost", "f")
+
+    def test_no_sources_no_responses(self):
+        overlay = P2POverlay(seed=3)
+        overlay.add_peer("a")
+        overlay.add_peer("b")
+        overlay.befriend("a", "b")
+        assert overlay.query("a", "missing", trials=2) == []
+
+    def test_trials_tagged(self):
+        overlay = self.build()
+        records = overlay.query("origin", "f", ttl=3, trials=3)
+        assert {r.trial for r in records} == {0, 1, 2}
+
+    def test_response_time_positive(self):
+        overlay = self.build()
+        records = overlay.query("origin", "f", trials=1)
+        assert all(r.response_time > 0 for r in records)
+
+
+class TestTimingSeparation:
+    """The signal the IV.A attack relies on."""
+
+    def test_source_faster_than_forwarder(self):
+        overlay = P2POverlay(seed=5)
+        overlay.add_peer("origin")
+        overlay.add_peer("near-source", files={"f"})
+        overlay.add_peer("forwarder")
+        overlay.add_peer("behind", files={"f"})
+        overlay.befriend("origin", "near-source", latency=0.02)
+        overlay.befriend("origin", "forwarder", latency=0.02)
+        overlay.befriend("forwarder", "behind", latency=0.02)
+        records = overlay.query("origin", "f", ttl=3, trials=10)
+        by_neighbor = {}
+        for record in records:
+            by_neighbor.setdefault(record.neighbor, []).append(
+                record.response_time
+            )
+        source_median = statistics.median(by_neighbor["near-source"])
+        forwarder_median = statistics.median(by_neighbor["forwarder"])
+        # The forwarder pays the artificial forward delay (>= 150 ms).
+        assert forwarder_median - source_median > 0.1
+
+    def test_measure_rtt(self):
+        overlay = P2POverlay(seed=5)
+        overlay.add_peer("a")
+        overlay.add_peer("b")
+        overlay.befriend("a", "b", latency=0.03)
+        assert overlay.measure_rtt("a", "b") == pytest.approx(0.06)
+
+    def test_measure_rtt_requires_friendship(self):
+        overlay = P2POverlay(seed=5)
+        overlay.add_peer("a")
+        overlay.add_peer("b")
+        with pytest.raises(ValueError):
+            overlay.measure_rtt("a", "b")
+
+
+class TestTimingParameters:
+    def test_draw_within_range(self):
+        import random
+
+        params = TimingParameters()
+        rng = random.Random(0)
+        for _ in range(100):
+            value = params.draw(rng, "forward_delay")
+            assert 0.150 <= value <= 0.300
+
+    def test_custom_parameters(self):
+        params = TimingParameters(source_lookup=(0.001, 0.002))
+        import random
+
+        value = params.draw(random.Random(1), "source_lookup")
+        assert 0.001 <= value <= 0.002

@@ -1,0 +1,74 @@
+"""Unit tests for the rotating circuit channel."""
+
+import pytest
+
+from repro.anonymity.onion import OnionNetwork, RotatingChannel
+from repro.netsim.engine import Simulator
+
+
+@pytest.fixture()
+def pools():
+    sim = Simulator()
+    fast = OnionNetwork(sim, n_relays=5, seed=1, base_delay=0.01)
+    slow = OnionNetwork(sim, n_relays=5, seed=2, base_delay=0.5)
+    return sim, fast, slow
+
+
+class TestValidation:
+    def test_needs_circuits(self):
+        with pytest.raises(ValueError):
+            RotatingChannel([], rotation_interval=10.0)
+
+    def test_needs_positive_interval(self, pools):
+        sim, fast, __ = pools
+        circuit = fast.build_circuit("c", "s")
+        with pytest.raises(ValueError):
+            RotatingChannel([circuit], rotation_interval=0)
+
+    def test_same_client_required(self, pools):
+        sim, fast, slow = pools
+        a = fast.build_circuit("client-a", "s")
+        b = slow.build_circuit("client-b", "s")
+        with pytest.raises(ValueError, match="same client"):
+            RotatingChannel([a, b], rotation_interval=10.0)
+
+
+class TestRotation:
+    def test_switches_circuits_over_time(self, pools):
+        sim, fast, slow = pools
+        circuits = [
+            fast.build_circuit("suspect", "s"),
+            slow.build_circuit("suspect", "s"),
+        ]
+        channel = RotatingChannel(circuits, rotation_interval=5.0)
+        for tick in range(4):  # t = 0, 4, 8, 12 -> circuit 0,0,1,1...
+            sim.schedule_at(tick * 4.0, channel.send_downstream)
+        sim.run()
+        assert circuits[0].cells_sent > 0
+        assert circuits[1].cells_sent > 0
+        assert channel.rotations >= 1
+
+    def test_merged_arrivals_sorted_and_complete(self, pools):
+        sim, fast, slow = pools
+        circuits = [
+            fast.build_circuit("suspect", "s"),
+            slow.build_circuit("suspect", "s"),
+        ]
+        channel = RotatingChannel(circuits, rotation_interval=3.0)
+        n = 10
+        for index in range(n):
+            sim.schedule_at(index * 1.0, channel.send_downstream)
+        sim.run()
+        arrivals = channel.client_arrival_times()
+        assert len(arrivals) == n
+        assert arrivals == sorted(arrivals)
+
+    def test_single_circuit_never_rotates(self, pools):
+        sim, fast, __ = pools
+        circuit = fast.build_circuit("suspect", "s")
+        channel = RotatingChannel([circuit], rotation_interval=1.0)
+        for index in range(5):
+            sim.schedule_at(index * 2.0, channel.send_downstream)
+        sim.run()
+        assert channel.rotations == 0
+        assert circuit.cells_sent == 5

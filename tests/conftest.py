@@ -1,0 +1,11 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core import ComplianceEngine
+
+
+@pytest.fixture(scope="session")
+def engine() -> ComplianceEngine:
+    """One compliance engine shared across the suite (it is stateless)."""
+    return ComplianceEngine()

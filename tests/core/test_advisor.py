@@ -1,0 +1,105 @@
+"""Unit tests for the research advisor (paper section IV)."""
+
+import pytest
+
+from repro.core import (
+    Actor,
+    DataKind,
+    EnvironmentContext,
+    Feasibility,
+    InvestigativeAction,
+    Place,
+    ProcessKind,
+    ResearchAdvisor,
+    Timing,
+)
+
+
+@pytest.fixture()
+def advisor():
+    return ResearchAdvisor()
+
+
+def public_observation():
+    return InvestigativeAction(
+        description="observe public protocol traffic",
+        actor=Actor.GOVERNMENT,
+        data_kind=DataKind.CONTENT,
+        timing=Timing.REAL_TIME,
+        context=EnvironmentContext(place=Place.PUBLIC, knowingly_exposed=True),
+    )
+
+
+def isp_header_tap():
+    return InvestigativeAction(
+        description="pen register at the suspect's ISP",
+        actor=Actor.GOVERNMENT,
+        data_kind=DataKind.NON_CONTENT,
+        timing=Timing.REAL_TIME,
+        context=EnvironmentContext(place=Place.TRANSMISSION_PATH),
+    )
+
+
+def full_isp_intercept():
+    return InvestigativeAction(
+        description="full intercept at the suspect's ISP",
+        actor=Actor.GOVERNMENT,
+        data_kind=DataKind.CONTENT,
+        timing=Timing.REAL_TIME,
+        context=EnvironmentContext(place=Place.TRANSMISSION_PATH),
+    )
+
+
+class TestClassification:
+    def test_public_only_technique_is_process_free(self, advisor):
+        assessment = advisor.assess("iv.a-like", [public_observation()])
+        assert assessment.feasibility is Feasibility.WORKABLE_WITHOUT_PROCESS
+        assert assessment.required_process is ProcessKind.NONE
+
+    def test_header_tap_needs_court_order(self, advisor):
+        assessment = advisor.assess("iv.b-like", [isp_header_tap()])
+        assert assessment.feasibility is Feasibility.WORKABLE_WITH_PROCESS
+        assert assessment.required_process is ProcessKind.COURT_ORDER
+
+    def test_full_intercept_is_wiretap_class(self, advisor):
+        assessment = advisor.assess("heavy", [full_isp_intercept()])
+        assert (
+            assessment.feasibility
+            is Feasibility.WORKABLE_WITH_WIRETAP_ORDER
+        )
+
+    def test_mixed_actions_take_the_max(self, advisor):
+        assessment = advisor.assess(
+            "mixed", [public_observation(), isp_header_tap()]
+        )
+        assert assessment.required_process is ProcessKind.COURT_ORDER
+
+    def test_empty_technique_rejected(self, advisor):
+        with pytest.raises(ValueError):
+            advisor.assess("empty", [])
+
+
+class TestPrivateSearchReframing:
+    def test_header_tap_is_private_search_viable(self, advisor):
+        # Section IV.B situation two: campus admins on their own gateways.
+        assessment = advisor.assess("iv.b-like", [isp_header_tap()])
+        assert assessment.private_search_viable
+
+    def test_recommendation_mentions_private_search_when_viable(self, advisor):
+        assessment = advisor.assess("iv.b-like", [isp_header_tap()])
+        assert "private search" in assessment.recommendation
+
+    def test_wiretap_class_recommends_redesign(self, advisor):
+        assessment = advisor.assess("heavy", [full_isp_intercept()])
+        assert "non-content" in assessment.recommendation
+
+
+class TestRulings:
+    def test_per_action_rulings_returned_in_order(self, advisor):
+        actions = [public_observation(), isp_header_tap()]
+        assessment = advisor.assess("mixed", actions)
+        assert len(assessment.rulings) == 2
+        assert assessment.rulings[0].required_process is ProcessKind.NONE
+        assert (
+            assessment.rulings[1].required_process is ProcessKind.COURT_ORDER
+        )

@@ -1,0 +1,99 @@
+"""Unit tests for the authority registry."""
+
+import pytest
+
+from repro.core.caselaw import (
+    Authority,
+    AuthorityKind,
+    AuthorityRegistry,
+    build_default_registry,
+)
+
+
+@pytest.fixture()
+def registry():
+    return build_default_registry()
+
+
+class TestAuthorityRegistry:
+    def test_add_and_get(self):
+        registry = AuthorityRegistry()
+        authority = Authority(
+            key="test",
+            kind=AuthorityKind.CASE,
+            citation="Test v. Case, 1 U.S. 1 (2000)",
+            holding="testing works",
+        )
+        registry.add(authority)
+        assert registry.get("test") is authority
+
+    def test_duplicate_key_rejected(self):
+        registry = AuthorityRegistry()
+        authority = Authority(
+            key="dup",
+            kind=AuthorityKind.STATUTE,
+            citation="x",
+            holding="y",
+        )
+        registry.add(authority)
+        with pytest.raises(ValueError, match="duplicate"):
+            registry.add(authority)
+
+    def test_unknown_key_raises(self):
+        registry = AuthorityRegistry()
+        with pytest.raises(KeyError):
+            registry.get("nope")
+
+    def test_contains(self, registry):
+        assert "katz" in registry
+        assert "not-a-case" not in registry
+
+    def test_iteration_covers_all(self, registry):
+        assert len(list(registry)) == len(registry)
+
+
+class TestDefaultRegistry:
+    ANCHOR_KEYS = [
+        "fourth_amendment",
+        "wiretap_act",
+        "sca",
+        "pen_trap",
+        "katz",
+        "kyllo",
+        "smith_v_maryland",
+        "crist",
+        "sloane",
+        "gates",
+        "matlock",
+        "paper_judgment",
+        "prusty_oneswarm",
+        "huang_watermark",
+    ]
+
+    @pytest.mark.parametrize("key", ANCHOR_KEYS)
+    def test_anchor_authorities_present(self, registry, key):
+        authority = registry.get(key)
+        assert authority.citation
+        assert authority.holding
+
+    def test_has_cases_statutes_and_secondary(self, registry):
+        kinds = {authority.kind for authority in registry}
+        assert AuthorityKind.CASE in kinds
+        assert AuthorityKind.STATUTE in kinds
+        assert AuthorityKind.SECONDARY in kinds
+        assert AuthorityKind.CONSTITUTION in kinds
+
+    def test_cases_helper_filters(self, registry):
+        cases = registry.cases()
+        assert cases
+        assert all(a.kind is AuthorityKind.CASE for a in cases)
+
+    def test_katz_holding_states_the_two_prong_origin(self, registry):
+        assert "reasonable expectation of privacy" in registry.get(
+            "katz"
+        ).holding
+
+    def test_registry_is_reasonably_complete(self, registry):
+        # The paper cites dozens of authorities; the registry must carry
+        # every one the rule modules use, with headroom.
+        assert len(registry) >= 25

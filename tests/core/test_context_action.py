@@ -1,0 +1,120 @@
+"""Unit tests for EnvironmentContext, ConsentFacts, and InvestigativeAction."""
+
+import pytest
+
+from repro.core import (
+    Actor,
+    ConsentFacts,
+    ConsentScope,
+    DataKind,
+    EnvironmentContext,
+    InvestigativeAction,
+    Place,
+    Timing,
+)
+
+
+class TestEnvironmentContext:
+    def test_public_place_is_exposure(self):
+        ctx = EnvironmentContext(place=Place.PUBLIC)
+        assert ctx.is_public_exposure()
+
+    def test_knowing_exposure_counts(self):
+        ctx = EnvironmentContext(
+            place=Place.SUSPECT_PREMISES, knowingly_exposed=True
+        )
+        assert ctx.is_public_exposure()
+
+    def test_shared_folder_counts(self):
+        ctx = EnvironmentContext(
+            place=Place.SUSPECT_PREMISES, shared_with_others=True
+        )
+        assert ctx.is_public_exposure()
+
+    def test_abandonment_counts(self):
+        ctx = EnvironmentContext(place=Place.SUSPECT_PREMISES, abandoned=True)
+        assert ctx.is_public_exposure()
+
+    def test_private_premises_is_not_exposure(self):
+        ctx = EnvironmentContext(place=Place.SUSPECT_PREMISES)
+        assert not ctx.is_public_exposure()
+
+    def test_at_provider(self):
+        assert EnvironmentContext(
+            place=Place.THIRD_PARTY_PROVIDER
+        ).at_provider()
+        assert not EnvironmentContext(place=Place.PUBLIC).at_provider()
+
+    def test_context_is_immutable(self):
+        ctx = EnvironmentContext(place=Place.PUBLIC)
+        with pytest.raises(AttributeError):
+            ctx.encrypted = True
+
+
+class TestConsentFacts:
+    def test_default_is_no_consent(self):
+        assert not ConsentFacts().effective()
+
+    def test_effective_consent(self):
+        consent = ConsentFacts(scope=ConsentScope.TARGET)
+        assert consent.effective()
+
+    def test_involuntary_consent_is_ineffective(self):
+        consent = ConsentFacts(scope=ConsentScope.TARGET, voluntary=False)
+        assert not consent.effective()
+
+    def test_exceeding_authority_is_ineffective(self):
+        consent = ConsentFacts(
+            scope=ConsentScope.CO_USER_SHARED_SPACE, exceeds_authority=True
+        )
+        assert not consent.effective()
+
+    def test_revoked_consent_is_ineffective(self):
+        consent = ConsentFacts(scope=ConsentScope.SPOUSE, revoked=True)
+        assert not consent.effective()
+
+    def test_consent_not_covering_target_is_ineffective(self):
+        # Table 1 scene 16: the victim's consent does not reach the
+        # attacker's machine.
+        consent = ConsentFacts(
+            scope=ConsentScope.NETWORK_OWNER, covers_target_data=False
+        )
+        assert not consent.effective()
+
+
+class TestInvestigativeAction:
+    def _action(self, **kwargs):
+        defaults = dict(
+            description="test",
+            actor=Actor.GOVERNMENT,
+            data_kind=DataKind.CONTENT,
+            timing=Timing.REAL_TIME,
+            context=EnvironmentContext(place=Place.PUBLIC),
+        )
+        defaults.update(kwargs)
+        return InvestigativeAction(**defaults)
+
+    def test_government_actors(self):
+        assert self._action(actor=Actor.GOVERNMENT).is_government_action()
+        assert self._action(
+            actor=Actor.GOVERNMENT_AGENT
+        ).is_government_action()
+
+    def test_private_actors_are_not_state_action(self):
+        assert not self._action(actor=Actor.PRIVATE).is_government_action()
+        assert not self._action(actor=Actor.PROVIDER).is_government_action()
+
+    def test_acquires_content(self):
+        assert self._action(data_kind=DataKind.CONTENT).acquires_content()
+        assert not self._action(
+            data_kind=DataKind.NON_CONTENT
+        ).acquires_content()
+
+    def test_real_time(self):
+        assert self._action(timing=Timing.REAL_TIME).real_time()
+        assert not self._action(timing=Timing.STORED).real_time()
+
+    def test_action_is_immutable(self):
+        action = self._action()
+        with pytest.raises(AttributeError):
+            action.actor = Actor.PRIVATE

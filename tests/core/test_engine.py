@@ -1,0 +1,140 @@
+"""Unit tests for the compliance engine's combination machinery."""
+
+import pytest
+
+from repro.core import (
+    Actor,
+    ComplianceEngine,
+    ConsentFacts,
+    ConsentScope,
+    DataKind,
+    DoctrineFacts,
+    EnvironmentContext,
+    InvestigativeAction,
+    LegalSource,
+    Place,
+    ProcessKind,
+    Timing,
+    evaluate,
+)
+
+
+def make_action(
+    data_kind=DataKind.CONTENT,
+    timing=Timing.REAL_TIME,
+    actor=Actor.GOVERNMENT,
+    consent=None,
+    doctrine=None,
+    **context_kwargs,
+):
+    context_kwargs.setdefault("place", Place.TRANSMISSION_PATH)
+    return InvestigativeAction(
+        description="probe",
+        actor=actor,
+        data_kind=data_kind,
+        timing=timing,
+        context=EnvironmentContext(**context_kwargs),
+        consent=consent or ConsentFacts(),
+        doctrine=doctrine or DoctrineFacts(),
+    )
+
+
+@pytest.fixture()
+def local_engine():
+    return ComplianceEngine()
+
+
+class TestCombination:
+    def test_required_is_max_of_requirements(self, local_engine):
+        # Full-content ISP tap: Fourth (warrant) + Title III (wiretap
+        # order); the wiretap order wins.
+        ruling = local_engine.evaluate(make_action())
+        assert ruling.required_process is ProcessKind.WIRETAP_ORDER
+        sources = set(ruling.governing_sources)
+        assert LegalSource.WIRETAP_ACT in sources
+
+    def test_no_requirements_means_no_process(self, local_engine):
+        ruling = local_engine.evaluate(
+            make_action(place=Place.PUBLIC, knowingly_exposed=True)
+        )
+        assert ruling.required_process is ProcessKind.NONE
+        assert not ruling.needs_process
+
+    def test_exception_eliminates_requirement(self, local_engine):
+        ruling = local_engine.evaluate(
+            make_action(
+                consent=ConsentFacts(scope=ConsentScope.NETWORK_OWNER),
+                place=Place.CONSENTING_NETWORK,
+            )
+        )
+        assert ruling.required_process is ProcessKind.NONE
+        # The pre-exception requirement stays visible in the ruling so a
+        # reader can see what the consent defeated.
+        assert any(
+            r.source is LegalSource.FOURTH_AMENDMENT
+            for r in ruling.requirements
+        )
+
+    def test_statutory_exceptions_recorded_in_trace(self, local_engine):
+        ruling = local_engine.evaluate(make_action(actor=Actor.PROVIDER))
+        assert ruling.exceptions
+        assert all(e.eliminates == frozenset() for e in ruling.exceptions)
+
+    def test_permits(self, local_engine):
+        ruling = local_engine.evaluate(make_action())
+        assert not ruling.permits(ProcessKind.SEARCH_WARRANT)
+        assert ruling.permits(ProcessKind.WIRETAP_ORDER)
+
+
+class TestTrace:
+    def test_steps_are_deduplicated(self, local_engine):
+        ruling = local_engine.evaluate(make_action())
+        keys = [(step.source, step.text) for step in ruling.steps]
+        assert len(keys) == len(set(keys))
+
+    def test_every_citation_resolves(self, local_engine):
+        ruling = local_engine.evaluate(make_action())
+        for step in ruling.steps:
+            for key in step.authorities:
+                assert key in local_engine.registry
+
+    def test_explain_renders(self, local_engine):
+        text = local_engine.evaluate(make_action()).explain()
+        assert "Required process:" in text
+        assert "Reasoning:" in text
+
+    def test_explain_lists_exceptions_when_present(self, local_engine):
+        text = local_engine.evaluate(
+            make_action(actor=Actor.PROVIDER)
+        ).explain()
+        assert "Exceptions applied:" in text
+
+
+class TestConvenienceApi:
+    def test_module_level_evaluate(self):
+        ruling = evaluate(make_action())
+        assert ruling.required_process is ProcessKind.WIRETAP_ORDER
+
+    def test_module_level_evaluate_reuses_engine(self):
+        from repro.core import engine as engine_module
+
+        first = engine_module._default_engine()
+        second = engine_module._default_engine()
+        assert first is second
+
+
+class TestDeterminism:
+    def test_same_action_same_ruling(self, local_engine):
+        action = make_action()
+        a = local_engine.evaluate(action)
+        b = local_engine.evaluate(action)
+        assert a.required_process is b.required_process
+        assert a.steps == b.steps
+        assert a.requirements == b.requirements
+
+    def test_two_engines_agree(self):
+        action = make_action()
+        assert (
+            ComplianceEngine().evaluate(action).required_process
+            is ComplianceEngine().evaluate(action).required_process
+        )

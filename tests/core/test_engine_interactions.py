@@ -1,0 +1,252 @@
+"""Cross-doctrine interaction tests for the compliance engine.
+
+Each test pins down how the engine resolves a *combination* of doctrines
+— the places where single-rule tests cannot catch inconsistencies.
+"""
+
+import pytest
+
+from repro.core import (
+    Actor,
+    ComplianceEngine,
+    ConsentFacts,
+    ConsentScope,
+    DataKind,
+    DoctrineFacts,
+    EnvironmentContext,
+    InvestigativeAction,
+    LegalSource,
+    Place,
+    ProcessKind,
+    Timing,
+)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return ComplianceEngine()
+
+
+def make_action(
+    actor=Actor.GOVERNMENT,
+    data_kind=DataKind.CONTENT,
+    timing=Timing.STORED,
+    consent=None,
+    doctrine=None,
+    **context_kwargs,
+):
+    context_kwargs.setdefault("place", Place.SUSPECT_PREMISES)
+    return InvestigativeAction(
+        description="interaction probe",
+        actor=actor,
+        data_kind=data_kind,
+        timing=timing,
+        context=EnvironmentContext(**context_kwargs),
+        consent=consent or ConsentFacts(),
+        doctrine=doctrine or DoctrineFacts(),
+    )
+
+
+class TestProviderSelfAccess:
+    def test_provider_reading_its_own_stored_content_needs_nothing(
+        self, engine
+    ):
+        """2701(c)(1): the provider is exempt for its own stored comms."""
+        ruling = engine.evaluate(
+            make_action(
+                actor=Actor.PROVIDER,
+                place=Place.THIRD_PARTY_PROVIDER,
+            )
+        )
+        assert ruling.required_process is ProcessKind.NONE
+        assert LegalSource.SCA not in ruling.governing_sources
+
+    def test_government_compelling_the_same_content_needs_warrant(
+        self, engine
+    ):
+        ruling = engine.evaluate(
+            make_action(place=Place.THIRD_PARTY_PROVIDER)
+        )
+        assert ruling.required_process is ProcessKind.SEARCH_WARRANT
+        assert LegalSource.SCA in ruling.governing_sources
+
+
+class TestPrivateActorsAndTitleIII:
+    def test_private_wardriver_payload_capture_still_implicates_title_iii(
+        self, engine
+    ):
+        """Title III binds 'any person' — a hobbyist capturing open-WiFi
+        payloads faces the same interception prohibition (no order is
+        *available* to them, so the conduct is simply unlawful)."""
+        ruling = engine.evaluate(
+            make_action(
+                actor=Actor.PRIVATE,
+                timing=Timing.REAL_TIME,
+                place=Place.WIRELESS_BROADCAST,
+            )
+        )
+        assert ruling.required_process is ProcessKind.WIRETAP_ORDER
+        assert LegalSource.FOURTH_AMENDMENT not in ruling.governing_sources
+
+    def test_private_party_to_the_call_may_record(self, engine):
+        ruling = engine.evaluate(
+            make_action(
+                actor=Actor.PRIVATE,
+                timing=Timing.REAL_TIME,
+                place=Place.TRANSMISSION_PATH,
+                consent=ConsentFacts(
+                    scope=ConsentScope.ONE_PARTY_TO_COMMUNICATION
+                ),
+            )
+        )
+        assert ruling.required_process is ProcessKind.NONE
+
+
+class TestExceptionCombinations:
+    def test_exigency_clears_fourth_but_not_title_iii(self, engine):
+        """Exigent circumstances excuse the warrant, not the statute:
+        a real-time content grab still needs a Title III order."""
+        ruling = engine.evaluate(
+            make_action(
+                timing=Timing.REAL_TIME,
+                place=Place.TRANSMISSION_PATH,
+                doctrine=DoctrineFacts(exigent_circumstances=True),
+            )
+        )
+        assert ruling.required_process is ProcessKind.WIRETAP_ORDER
+
+    def test_exigency_alone_clears_a_premises_search(self, engine):
+        ruling = engine.evaluate(
+            make_action(doctrine=DoctrineFacts(exigent_circumstances=True))
+        )
+        assert ruling.required_process is ProcessKind.NONE
+
+    def test_plain_view_clears_a_premises_seizure(self, engine):
+        ruling = engine.evaluate(
+            make_action(doctrine=DoctrineFacts(plain_view=True))
+        )
+        assert ruling.required_process is ProcessKind.NONE
+
+    def test_probationer_search_needs_no_warrant(self, engine):
+        ruling = engine.evaluate(
+            make_action(doctrine=DoctrineFacts(target_on_probation=True))
+        )
+        assert ruling.required_process is ProcessKind.NONE
+
+    def test_emergency_pen_trap_plus_content_does_not_cross_over(
+        self, engine
+    ):
+        """A 3125 emergency authorizes *pen/trap* collection only —
+        content interception still needs its Title III order."""
+        ruling = engine.evaluate(
+            make_action(
+                timing=Timing.REAL_TIME,
+                place=Place.TRANSMISSION_PATH,
+                doctrine=DoctrineFacts(emergency_pen_trap=True),
+            )
+        )
+        assert ruling.required_process is ProcessKind.WIRETAP_ORDER
+
+    def test_emergency_pen_trap_clears_non_content(self, engine):
+        ruling = engine.evaluate(
+            make_action(
+                data_kind=DataKind.NON_CONTENT,
+                timing=Timing.REAL_TIME,
+                place=Place.TRANSMISSION_PATH,
+                doctrine=DoctrineFacts(emergency_pen_trap=True),
+            )
+        )
+        assert ruling.required_process is ProcessKind.NONE
+
+
+class TestConsentScopeEdges:
+    def test_co_user_consent_exceeding_authority_is_void(self, engine):
+        ruling = engine.evaluate(
+            make_action(
+                consent=ConsentFacts(
+                    scope=ConsentScope.CO_USER_SHARED_SPACE,
+                    exceeds_authority=True,
+                )
+            )
+        )
+        assert ruling.required_process is ProcessKind.SEARCH_WARRANT
+
+    def test_revoked_consent_restores_the_requirement(self, engine):
+        ruling = engine.evaluate(
+            make_action(
+                consent=ConsentFacts(
+                    scope=ConsentScope.SPOUSE, revoked=True
+                )
+            )
+        )
+        assert ruling.required_process is ProcessKind.SEARCH_WARRANT
+
+    def test_employer_consent_clears_workplace_search(self, engine):
+        ruling = engine.evaluate(
+            make_action(
+                consent=ConsentFacts(scope=ConsentScope.EMPLOYER)
+            )
+        )
+        assert ruling.required_process is ProcessKind.NONE
+
+
+class TestAbandonmentAndExposure:
+    def test_abandoned_device_searchable_without_process(self, engine):
+        ruling = engine.evaluate(make_action(abandoned=True))
+        assert ruling.required_process is ProcessKind.NONE
+
+    def test_shared_folder_on_private_machine(self, engine):
+        """King (11th Cir.): sharing forfeits privacy even at home."""
+        ruling = engine.evaluate(make_action(shared_with_others=True))
+        assert ruling.required_process is ProcessKind.NONE
+
+    def test_exposure_plus_encryption_still_no_rep(self, engine):
+        ruling = engine.evaluate(
+            make_action(knowingly_exposed=True, encrypted=True)
+        )
+        assert ruling.required_process is ProcessKind.NONE
+
+
+class TestKylloFactors:
+    def test_exotic_tech_into_the_home_is_a_search(self, engine):
+        ruling = engine.evaluate(
+            make_action(
+                home_interior=True,
+                technology_in_general_public_use=False,
+            )
+        )
+        assert ruling.required_process is ProcessKind.SEARCH_WARRANT
+
+    def test_common_tech_observation_still_protected_at_home(self, engine):
+        """With common technology the Kyllo rule is not triggered, but a
+        premises search of stored content remains a search."""
+        ruling = engine.evaluate(
+            make_action(
+                home_interior=True,
+                technology_in_general_public_use=True,
+            )
+        )
+        assert ruling.required_process is ProcessKind.SEARCH_WARRANT
+
+
+class TestSubscriberInfoPath:
+    def test_subscriber_info_needs_only_a_subpoena(self, engine):
+        ruling = engine.evaluate(
+            make_action(
+                data_kind=DataKind.SUBSCRIBER_INFO,
+                place=Place.THIRD_PARTY_PROVIDER,
+            )
+        )
+        assert ruling.required_process is ProcessKind.SUBPOENA
+        # Constitutionally unprotected (Smith), statutorily protected.
+        assert not ruling.privacy.has_rep
+        assert LegalSource.SCA in ruling.governing_sources
+
+    def test_transactional_records_need_a_2703d_order(self, engine):
+        ruling = engine.evaluate(
+            make_action(
+                data_kind=DataKind.TRANSACTIONAL_RECORD,
+                place=Place.THIRD_PARTY_PROVIDER,
+            )
+        )
+        assert ruling.required_process is ProcessKind.COURT_ORDER

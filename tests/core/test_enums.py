@@ -1,0 +1,90 @@
+"""Unit tests for the core enumerations and their orderings."""
+
+import pytest
+
+from repro.core.enums import (
+    REQUIRED_SHOWING,
+    ProcessKind,
+    Standard,
+)
+
+
+class TestProcessKindOrdering:
+    def test_ladder_is_strictly_increasing(self):
+        ladder = [
+            ProcessKind.NONE,
+            ProcessKind.SUBPOENA,
+            ProcessKind.COURT_ORDER,
+            ProcessKind.SEARCH_WARRANT,
+            ProcessKind.WIRETAP_ORDER,
+        ]
+        for weaker, stronger in zip(ladder, ladder[1:]):
+            assert weaker < stronger
+
+    def test_every_process_satisfies_itself(self):
+        for kind in ProcessKind:
+            assert kind.satisfies(kind)
+
+    def test_stronger_satisfies_weaker(self):
+        assert ProcessKind.SEARCH_WARRANT.satisfies(ProcessKind.SUBPOENA)
+        assert ProcessKind.WIRETAP_ORDER.satisfies(ProcessKind.SEARCH_WARRANT)
+        assert ProcessKind.COURT_ORDER.satisfies(ProcessKind.NONE)
+
+    def test_weaker_does_not_satisfy_stronger(self):
+        assert not ProcessKind.SUBPOENA.satisfies(ProcessKind.COURT_ORDER)
+        assert not ProcessKind.SEARCH_WARRANT.satisfies(
+            ProcessKind.WIRETAP_ORDER
+        )
+        assert not ProcessKind.NONE.satisfies(ProcessKind.SUBPOENA)
+
+    def test_display_names_are_distinct(self):
+        names = {kind.display_name for kind in ProcessKind}
+        assert len(names) == len(ProcessKind)
+
+    def test_display_name_mentions_title_iii_for_wiretap(self):
+        assert "Title III" in ProcessKind.WIRETAP_ORDER.display_name
+
+
+class TestStandard:
+    def test_ladder_matches_paper_section_ii_a(self):
+        assert (
+            Standard.MERE_SUSPICION
+            < Standard.SPECIFIC_AND_ARTICULABLE_FACTS
+            < Standard.PROBABLE_CAUSE
+        )
+
+    def test_satisfies_is_reflexive(self):
+        for standard in Standard:
+            assert standard.satisfies(standard)
+
+    def test_probable_cause_satisfies_suspicion(self):
+        assert Standard.PROBABLE_CAUSE.satisfies(Standard.MERE_SUSPICION)
+
+    def test_suspicion_does_not_satisfy_probable_cause(self):
+        assert not Standard.MERE_SUSPICION.satisfies(Standard.PROBABLE_CAUSE)
+
+
+class TestRequiredShowing:
+    def test_every_process_kind_has_a_required_showing(self):
+        assert set(REQUIRED_SHOWING) == set(ProcessKind)
+
+    @pytest.mark.parametrize(
+        "kind,expected",
+        [
+            (ProcessKind.NONE, Standard.NOTHING),
+            (ProcessKind.SUBPOENA, Standard.MERE_SUSPICION),
+            (
+                ProcessKind.COURT_ORDER,
+                Standard.SPECIFIC_AND_ARTICULABLE_FACTS,
+            ),
+            (ProcessKind.SEARCH_WARRANT, Standard.PROBABLE_CAUSE),
+            (ProcessKind.WIRETAP_ORDER, Standard.SUPER_WARRANT_SHOWING),
+        ],
+    )
+    def test_showing_ladder(self, kind, expected):
+        assert REQUIRED_SHOWING[kind] is expected
+
+    def test_showing_is_monotone_in_process_strength(self):
+        kinds = sorted(ProcessKind)
+        showings = [REQUIRED_SHOWING[kind] for kind in kinds]
+        assert showings == sorted(showings)

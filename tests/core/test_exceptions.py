@@ -1,0 +1,128 @@
+"""Unit tests for the cross-cutting exception module."""
+
+import pytest
+
+from repro.core import (
+    Actor,
+    ConsentFacts,
+    ConsentScope,
+    DataKind,
+    DoctrineFacts,
+    EnvironmentContext,
+    ExceptionKind,
+    InvestigativeAction,
+    LegalSource,
+    Place,
+    Timing,
+)
+from repro.core.exceptions import consent_reaches, gather_exceptions
+
+
+def make_action(consent=None, doctrine=None, **context_kwargs):
+    context_kwargs.setdefault("place", Place.SUSPECT_PREMISES)
+    return InvestigativeAction(
+        description="probe",
+        actor=Actor.GOVERNMENT,
+        data_kind=DataKind.CONTENT,
+        timing=Timing.STORED,
+        context=EnvironmentContext(**context_kwargs),
+        consent=consent or ConsentFacts(),
+        doctrine=doctrine or DoctrineFacts(),
+    )
+
+
+def kinds_of(exceptions):
+    return {exception.kind for exception in exceptions}
+
+
+class TestConsentException:
+    def test_effective_consent_defeats_everything(self):
+        exceptions = gather_exceptions(
+            make_action(consent=ConsentFacts(scope=ConsentScope.SPOUSE))
+        )
+        consent = next(
+            e for e in exceptions if e.kind is ExceptionKind.CONSENT
+        )
+        assert consent.eliminates == {
+            LegalSource.FOURTH_AMENDMENT,
+            LegalSource.WIRETAP_ACT,
+            LegalSource.SCA,
+            LegalSource.PEN_TRAP,
+        }
+
+    def test_revoked_consent_gives_no_exception(self):
+        exceptions = gather_exceptions(
+            make_action(
+                consent=ConsentFacts(scope=ConsentScope.SPOUSE, revoked=True)
+            )
+        )
+        assert ExceptionKind.CONSENT not in kinds_of(exceptions)
+
+
+class TestDoctrineExceptions:
+    @pytest.mark.parametrize(
+        "flag,kind",
+        [
+            ("exigent_circumstances", ExceptionKind.EXIGENT_CIRCUMSTANCES),
+            ("plain_view", ExceptionKind.PLAIN_VIEW),
+            ("target_on_probation", ExceptionKind.PROBATION_PAROLE),
+        ],
+    )
+    def test_fourth_amendment_only_exceptions(self, flag, kind):
+        exceptions = gather_exceptions(
+            make_action(doctrine=DoctrineFacts(**{flag: True}))
+        )
+        found = next(e for e in exceptions if e.kind is kind)
+        assert found.eliminates == {LegalSource.FOURTH_AMENDMENT}
+
+    def test_trespasser_exception_spans_realtime_statutes(self):
+        exceptions = gather_exceptions(
+            make_action(
+                doctrine=DoctrineFacts(victim_invited_monitoring=True)
+            )
+        )
+        found = next(
+            e
+            for e in exceptions
+            if e.kind is ExceptionKind.COMPUTER_TRESPASSER
+        )
+        assert LegalSource.WIRETAP_ACT in found.eliminates
+        assert LegalSource.PEN_TRAP in found.eliminates
+        assert LegalSource.SCA not in found.eliminates
+
+    def test_no_flags_no_exceptions(self):
+        assert gather_exceptions(make_action()) == []
+
+    def test_credentials_exception_cites_paper(self):
+        exceptions = gather_exceptions(
+            make_action(
+                doctrine=DoctrineFacts(credentials_lawfully_obtained=True)
+            )
+        )
+        assert len(exceptions) == 1
+        assert "paper_judgment" in exceptions[0].step.authorities
+
+
+class TestConsentReach:
+    def test_no_consent_reaches_nothing(self):
+        assert not consent_reaches(ConsentScope.NONE, private_space=False)
+
+    def test_co_user_reaches_shared_space_only(self):
+        assert consent_reaches(
+            ConsentScope.CO_USER_SHARED_SPACE, private_space=False
+        )
+        assert not consent_reaches(
+            ConsentScope.CO_USER_SHARED_SPACE, private_space=True
+        )
+
+    @pytest.mark.parametrize(
+        "scope",
+        [
+            ConsentScope.SPOUSE,
+            ConsentScope.EMPLOYER,
+            ConsentScope.NETWORK_OWNER,
+            ConsentScope.PARENT_OF_MINOR,
+        ],
+    )
+    def test_broad_authority_scopes(self, scope):
+        assert consent_reaches(scope, private_space=True)

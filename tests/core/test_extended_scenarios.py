@@ -1,0 +1,52 @@
+"""The extended prose-scene catalogue: every scene individually verified."""
+
+import pytest
+
+from repro.core.extended_scenarios import (
+    ExtendedScene,
+    build_extended_catalogue,
+)
+
+
+@pytest.fixture(scope="module")
+def catalogue():
+    return {scene.scene_id: scene for scene in build_extended_catalogue()}
+
+
+def test_catalogue_has_sixteen_scenes(catalogue):
+    assert len(catalogue) == 16
+    assert set(catalogue) == {f"E{i}" for i in range(1, 17)}
+
+
+@pytest.mark.parametrize(
+    "scene_id", [f"E{i}" for i in range(1, 17)]
+)
+def test_engine_matches_expected_process(engine, catalogue, scene_id):
+    scene = catalogue[scene_id]
+    ruling = engine.evaluate(scene.action)
+    assert ruling.required_process is scene.expected_process, (
+        f"{scene.scene_id} ({scene.basis}): expected "
+        f"{scene.expected_process.display_name}, engine says "
+        f"{ruling.required_process.display_name}"
+    )
+
+
+def test_needs_process_property(catalogue):
+    assert catalogue["E3"].needs_process
+    assert not catalogue["E2"].needs_process
+
+
+def test_every_scene_has_a_basis(catalogue):
+    for scene in catalogue.values():
+        assert scene.basis
+        assert scene.action.description
+
+
+def test_kyllo_and_katz_scenes_cite_their_cases(engine, catalogue):
+    kyllo_ruling = engine.evaluate(catalogue["E3"].action)
+    cited = {key for step in kyllo_ruling.steps for key in step.authorities}
+    assert "kyllo" in cited
+
+    katz_ruling = engine.evaluate(catalogue["E1"].action)
+    cited = {key for step in katz_ruling.steps for key in step.authorities}
+    assert "katz" in cited

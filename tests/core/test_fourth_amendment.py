@@ -1,0 +1,91 @@
+"""Unit tests for the Fourth Amendment rule module."""
+
+from repro.core import (
+    Actor,
+    DataKind,
+    DoctrineFacts,
+    EnvironmentContext,
+    InvestigativeAction,
+    LegalSource,
+    Place,
+    ProcessKind,
+    Timing,
+    analyze_privacy,
+)
+from repro.core.statutes import fourth_amendment
+
+
+def make_action(actor=Actor.GOVERNMENT, doctrine=None, **context_kwargs):
+    context_kwargs.setdefault("place", Place.SUSPECT_PREMISES)
+    return InvestigativeAction(
+        description="probe",
+        actor=actor,
+        data_kind=DataKind.CONTENT,
+        timing=Timing.STORED,
+        context=EnvironmentContext(**context_kwargs),
+        doctrine=doctrine or DoctrineFacts(),
+    )
+
+
+def evaluate(action):
+    return fourth_amendment.evaluate(action, analyze_privacy(action))
+
+
+class TestStateActionRequirement:
+    def test_private_search_imposes_nothing(self):
+        assert evaluate(make_action(actor=Actor.PRIVATE)) is None
+
+    def test_provider_action_imposes_nothing(self):
+        assert evaluate(make_action(actor=Actor.PROVIDER)) is None
+
+    def test_government_agent_is_state_action(self):
+        requirement = evaluate(make_action(actor=Actor.GOVERNMENT_AGENT))
+        assert requirement is not None
+        assert requirement.process is ProcessKind.SEARCH_WARRANT
+
+
+class TestWarrantRequirement:
+    def test_search_of_protected_interest_needs_warrant(self):
+        requirement = evaluate(make_action())
+        assert requirement is not None
+        assert requirement.source is LegalSource.FOURTH_AMENDMENT
+        assert requirement.process is ProcessKind.SEARCH_WARRANT
+
+    def test_no_rep_means_no_requirement(self):
+        assert evaluate(make_action(knowingly_exposed=True)) is None
+
+    def test_requirement_cites_katz(self):
+        requirement = evaluate(make_action())
+        cited = {
+            key for step in requirement.steps for key in step.authorities
+        }
+        assert "katz" in cited
+
+
+class TestNarrowDoctrines:
+    def test_crist_hash_search_needs_warrant_despite_custody(self):
+        action = make_action(
+            doctrine=DoctrineFacts(hash_search_of_lawful_media=True),
+            place=Place.GOVERNMENT_CUSTODY,
+        )
+        requirement = evaluate(action)
+        assert requirement is not None
+        assert requirement.process is ProcessKind.SEARCH_WARRANT
+        cited = {
+            key for step in requirement.steps for key in step.authorities
+        }
+        assert "crist" in cited
+
+    def test_sloane_mining_is_not_a_search(self):
+        action = make_action(
+            doctrine=DoctrineFacts(mining_of_lawful_data=True),
+            place=Place.GOVERNMENT_CUSTODY,
+        )
+        assert evaluate(action) is None
+
+    def test_scene_20_credentials_need_no_further_process(self):
+        action = make_action(
+            doctrine=DoctrineFacts(credentials_lawfully_obtained=True),
+            place=Place.THIRD_PARTY_PROVIDER,
+        )
+        assert evaluate(action) is None

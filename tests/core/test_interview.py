@@ -1,0 +1,143 @@
+"""Unit tests for the action-building interview."""
+
+import pytest
+
+from repro.core import (
+    Actor,
+    ComplianceEngine,
+    ConsentScope,
+    DataKind,
+    Place,
+    ProcessKind,
+    Timing,
+)
+from repro.core.interview import ActionInterview, run_interview
+
+FULL_ANSWERS = {
+    "actor": Actor.GOVERNMENT,
+    "data_kind": DataKind.CONTENT,
+    "timing": Timing.REAL_TIME,
+    "place": Place.TRANSMISSION_PATH,
+    "encrypted": False,
+    "knowingly_exposed": False,
+    "policy_eliminates_rep": False,
+    "provider_serves_public": True,
+    "delivered_to_recipient": False,
+    "consent_scope": ConsentScope.NONE,
+    "consent_covers_target": True,
+    "monitoring_own_network": False,
+    "victim_invited_monitoring": False,
+    "exigent_circumstances": False,
+}
+
+
+class TestWizardFlow:
+    def test_sequential_answering(self):
+        interview = ActionInterview()
+        asked = []
+        while not interview.finished:
+            question = interview.current_question()
+            asked.append(question.field)
+            interview.answer(FULL_ANSWERS[question.field])
+        action = interview.build("wizard action")
+        assert action.actor is Actor.GOVERNMENT
+        assert asked[0] == "actor"
+        # Provider questions skipped: place is not a provider.
+        assert "provider_serves_public" not in asked
+
+    def test_stored_acquisition_skips_network_questions(self):
+        answers = dict(FULL_ANSWERS)
+        answers["timing"] = Timing.STORED
+        interview = ActionInterview()
+        asked = []
+        while not interview.finished:
+            question = interview.current_question()
+            asked.append(question.field)
+            interview.answer(answers[question.field])
+        assert "encrypted" not in asked
+        assert "monitoring_own_network" not in asked
+
+    def test_provider_questions_asked_at_provider(self):
+        answers = dict(FULL_ANSWERS)
+        answers["place"] = Place.THIRD_PARTY_PROVIDER
+        answers["timing"] = Timing.STORED
+        interview = ActionInterview()
+        asked = []
+        while not interview.finished:
+            question = interview.current_question()
+            asked.append(question.field)
+            interview.answer(answers[question.field])
+        assert "provider_serves_public" in asked
+        assert "delivered_to_recipient" in asked
+
+    def test_consent_followup_only_with_consent(self):
+        answers = dict(FULL_ANSWERS)
+        answers["consent_scope"] = ConsentScope.NETWORK_OWNER
+        interview = ActionInterview()
+        asked = []
+        while not interview.finished:
+            question = interview.current_question()
+            asked.append(question.field)
+            interview.answer(answers[question.field])
+        assert "consent_covers_target" in asked
+
+    def test_invalid_answer_rejected(self):
+        interview = ActionInterview()
+        with pytest.raises(ValueError):
+            interview.answer("not an actor")
+
+    def test_build_before_finish_rejected(self):
+        interview = ActionInterview()
+        with pytest.raises(RuntimeError, match="incomplete"):
+            interview.build("too early")
+
+    def test_question_after_finish_rejected(self):
+        action = run_interview(FULL_ANSWERS, "done")
+        assert action is not None
+        interview = ActionInterview()
+        while not interview.finished:
+            interview.answer(
+                FULL_ANSWERS[interview.current_question().field]
+            )
+        with pytest.raises(RuntimeError, match="finished"):
+            interview.current_question()
+
+
+class TestRunInterview:
+    def test_one_shot(self):
+        action = run_interview(FULL_ANSWERS, "full ISP intercept")
+        assert action.data_kind is DataKind.CONTENT
+        assert action.context.place is Place.TRANSMISSION_PATH
+
+    def test_missing_answer_raises(self):
+        answers = dict(FULL_ANSWERS)
+        del answers["place"]
+        with pytest.raises(KeyError, match="place"):
+            run_interview(answers, "incomplete")
+
+    def test_extra_keys_ignored(self):
+        answers = dict(FULL_ANSWERS)
+        answers["irrelevant"] = 42
+        assert run_interview(answers, "extra") is not None
+
+
+class TestEngineIntegration:
+    def test_interview_output_matches_direct_construction(self):
+        engine = ComplianceEngine()
+        action = run_interview(FULL_ANSWERS, "ISP full intercept")
+        ruling = engine.evaluate(action)
+        assert ruling.required_process is ProcessKind.WIRETAP_ORDER
+
+    def test_interview_reproduces_scene_15(self):
+        answers = dict(FULL_ANSWERS)
+        answers.update(
+            {
+                "place": Place.CONSENTING_NETWORK,
+                "consent_scope": ConsentScope.NETWORK_OWNER,
+                "consent_covers_target": True,
+                "victim_invited_monitoring": True,
+            }
+        )
+        action = run_interview(answers, "victim-invited monitoring")
+        ruling = ComplianceEngine().evaluate(action)
+        assert ruling.required_process is ProcessKind.NONE

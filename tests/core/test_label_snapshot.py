@@ -1,0 +1,32 @@
+"""Doctrinal-stability regression snapshot.
+
+The engine's rulings over a fixed 500-action corpus are pinned by hash.
+If a refactor changes ANY label, this test fails and forces a conscious
+decision: either the change was an intended doctrinal correction (update
+the digest and say why in the commit) or it is a regression.
+"""
+
+import hashlib
+
+from repro.workloads import labeled_corpus
+
+#: SHA-256 over the required-process labels of ``labeled_corpus(500,
+#: seed=20120707)``.  History:
+#: - initial pin after the third-party-doctrine fix for transactional
+#:   records and the 2701(c) provider self-access exemption.
+SNAPSHOT_DIGEST = (
+    "01884aa71e41dde11567153fff6823befff4197551f73d70228d3fd250feaeb5"
+)
+
+
+def test_label_snapshot_unchanged():
+    corpus = labeled_corpus(500, seed=20120707)
+    payload = ";".join(
+        str(item.required_process.value) for item in corpus
+    )
+    digest = hashlib.sha256(payload.encode()).hexdigest()
+    assert digest == SNAPSHOT_DIGEST, (
+        "engine labels changed on the pinned corpus — if this is an "
+        "intended doctrinal change, update SNAPSHOT_DIGEST and document "
+        "the reason"
+    )

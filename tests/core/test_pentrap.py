@@ -1,0 +1,128 @@
+"""Unit tests for the Pen/Trap statute rule module."""
+
+import pytest
+
+from repro.core import (
+    Actor,
+    ConsentFacts,
+    ConsentScope,
+    DataKind,
+    DoctrineFacts,
+    EnvironmentContext,
+    ExceptionKind,
+    InvestigativeAction,
+    Place,
+    ProcessKind,
+    Timing,
+)
+from repro.core.statutes import pentrap
+
+
+def make_action(
+    data_kind=DataKind.NON_CONTENT,
+    timing=Timing.REAL_TIME,
+    actor=Actor.GOVERNMENT,
+    consent=None,
+    doctrine=None,
+    **context_kwargs,
+):
+    context_kwargs.setdefault("place", Place.TRANSMISSION_PATH)
+    return InvestigativeAction(
+        description="probe",
+        actor=actor,
+        data_kind=data_kind,
+        timing=timing,
+        context=EnvironmentContext(**context_kwargs),
+        consent=consent or ConsentFacts(),
+        doctrine=doctrine or DoctrineFacts(),
+    )
+
+
+class TestApplicability:
+    def test_real_time_non_content_is_covered(self):
+        assert pentrap.applies(make_action())
+
+    def test_content_is_title_iii_territory(self):
+        assert not pentrap.applies(make_action(data_kind=DataKind.CONTENT))
+
+    def test_stored_records_are_sca_territory(self):
+        assert not pentrap.applies(make_action(timing=Timing.STORED))
+
+
+class TestRequirement:
+    def test_pen_register_needs_court_order(self):
+        requirement = pentrap.evaluate(make_action())
+        assert requirement is not None
+        assert requirement.process is ProcessKind.COURT_ORDER
+
+    def test_requirement_cites_forrester(self):
+        requirement = pentrap.evaluate(make_action())
+        cited = {
+            key for step in requirement.steps for key in step.authorities
+        }
+        assert "forrester" in cited
+
+
+class TestStatutoryExceptions:
+    def test_provider_exception(self):
+        found = pentrap.statutory_exception(
+            make_action(actor=Actor.PROVIDER)
+        )
+        assert found is not None
+        assert found[0] is ExceptionKind.PROVIDER_SELF_PROTECTION
+
+    def test_emergency_pen_trap(self):
+        found = pentrap.statutory_exception(
+            make_action(doctrine=DoctrineFacts(emergency_pen_trap=True))
+        )
+        assert found is not None
+        assert found[0] is ExceptionKind.EMERGENCY_PEN_TRAP
+        assert "3125" in found[1].text
+
+    def test_victim_consent(self):
+        found = pentrap.statutory_exception(
+            make_action(
+                doctrine=DoctrineFacts(victim_invited_monitoring=True)
+            )
+        )
+        assert found is not None
+        assert found[0] is ExceptionKind.COMPUTER_TRESPASSER
+
+    @pytest.mark.parametrize(
+        "scope",
+        [
+            ConsentScope.NETWORK_OWNER,
+            ConsentScope.TARGET,
+            ConsentScope.ONE_PARTY_TO_COMMUNICATION,
+        ],
+    )
+    def test_user_consent(self, scope):
+        found = pentrap.statutory_exception(
+            make_action(consent=ConsentFacts(scope=scope))
+        )
+        assert found is not None
+        assert found[0] is ExceptionKind.PARTY_CONSENT
+
+    def test_wireless_broadcast_headers_exempt(self):
+        # Table 1 rows 3 and 5: the authors' (*) judgment.
+        found = pentrap.statutory_exception(
+            make_action(place=Place.WIRELESS_BROADCAST)
+        )
+        assert found is not None
+        assert found[0] is ExceptionKind.NO_REP
+        assert "paper_judgment" in found[1].authorities
+
+    def test_public_broadcast_addressing_exempt(self):
+        found = pentrap.statutory_exception(
+            make_action(place=Place.PUBLIC, knowingly_exposed=True)
+        )
+        assert found is not None
+        assert found[0] is ExceptionKind.ACCESSIBLE_TO_PUBLIC
+
+    def test_plain_isp_tap_has_no_exception(self):
+        assert pentrap.statutory_exception(make_action()) is None
+
+    def test_exception_suppresses_requirement(self):
+        assert (
+            pentrap.evaluate(make_action(actor=Actor.PROVIDER)) is None
+        )

@@ -1,0 +1,173 @@
+"""Unit tests for the Katz REP analyzer (paper section II.C)."""
+
+import pytest
+
+from repro.core import (
+    Actor,
+    DataKind,
+    EnvironmentContext,
+    InvestigativeAction,
+    Place,
+    Timing,
+    analyze_privacy,
+)
+
+
+def make_action(
+    data_kind=DataKind.CONTENT,
+    timing=Timing.STORED,
+    **context_kwargs,
+):
+    context_kwargs.setdefault("place", Place.SUSPECT_PREMISES)
+    return InvestigativeAction(
+        description="privacy probe",
+        actor=Actor.GOVERNMENT,
+        data_kind=data_kind,
+        timing=timing,
+        context=EnvironmentContext(**context_kwargs),
+    )
+
+
+class TestClosedContainerDefault:
+    def test_private_computer_has_rep(self):
+        finding = analyze_privacy(make_action())
+        assert finding.has_rep
+        assert finding.subjective_expectation
+        assert finding.objectively_reasonable
+
+    def test_finding_carries_reasoning(self):
+        finding = analyze_privacy(make_action())
+        assert finding.steps
+        assert any("closed container" in step.text for step in finding.steps)
+
+
+class TestExposureDefeatsPrivacy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"place": Place.PUBLIC},
+            {"knowingly_exposed": True},
+            {"shared_with_others": True},
+            {"abandoned": True},
+        ],
+    )
+    def test_exposure_forms(self, kwargs):
+        finding = analyze_privacy(make_action(**kwargs))
+        assert not finding.has_rep
+        assert not finding.subjective_expectation
+
+    def test_exposure_cites_gorshkov_line(self):
+        finding = analyze_privacy(make_action(knowingly_exposed=True))
+        cited = {key for step in finding.steps for key in step.authorities}
+        assert "gorshkov" in cited
+
+
+class TestPolicyBanner:
+    def test_policy_eliminates_rep(self):
+        finding = analyze_privacy(make_action(policy_eliminates_rep=True))
+        assert not finding.has_rep
+        # Subjective prong may still hold; the objective one fails.
+        assert finding.subjective_expectation
+        assert not finding.objectively_reasonable
+
+
+class TestDeliveryRule:
+    def test_sender_privacy_terminates_upon_delivery(self):
+        finding = analyze_privacy(make_action(delivered_to_recipient=True))
+        assert not finding.has_rep
+        cited = {key for step in finding.steps for key in step.authorities}
+        assert "king_delivery" in cited
+
+
+class TestThirdPartyDoctrine:
+    @pytest.mark.parametrize(
+        "place", [Place.THIRD_PARTY_PROVIDER, Place.TRANSMISSION_PATH]
+    )
+    @pytest.mark.parametrize(
+        "data_kind", [DataKind.NON_CONTENT, DataKind.SUBSCRIBER_INFO]
+    )
+    def test_addressing_data_at_third_parties_has_no_rep(
+        self, place, data_kind
+    ):
+        finding = analyze_privacy(
+            make_action(data_kind=data_kind, place=place)
+        )
+        assert not finding.has_rep
+        cited = {key for step in finding.steps for key in step.authorities}
+        assert "smith_v_maryland" in cited
+
+    def test_content_at_provider_keeps_rep(self):
+        finding = analyze_privacy(
+            make_action(
+                data_kind=DataKind.CONTENT, place=Place.THIRD_PARTY_PROVIDER
+            )
+        )
+        assert finding.has_rep
+
+
+class TestWirelessBroadcast:
+    """Table 1 rows 3-6: the authors' (*) judgments."""
+
+    def test_broadcast_headers_have_no_rep(self):
+        finding = analyze_privacy(
+            make_action(
+                data_kind=DataKind.NON_CONTENT,
+                place=Place.WIRELESS_BROADCAST,
+            )
+        )
+        assert not finding.has_rep
+
+    def test_broadcast_headers_no_rep_even_encrypted(self):
+        finding = analyze_privacy(
+            make_action(
+                data_kind=DataKind.NON_CONTENT,
+                place=Place.WIRELESS_BROADCAST,
+                encrypted=True,
+            )
+        )
+        assert not finding.has_rep
+
+    def test_broadcast_content_keeps_rep(self):
+        finding = analyze_privacy(
+            make_action(
+                data_kind=DataKind.CONTENT, place=Place.WIRELESS_BROADCAST
+            )
+        )
+        assert finding.has_rep
+
+    def test_broadcast_rulings_cite_the_papers_own_judgment(self):
+        finding = analyze_privacy(
+            make_action(
+                data_kind=DataKind.NON_CONTENT,
+                place=Place.WIRELESS_BROADCAST,
+            )
+        )
+        cited = {key for step in finding.steps for key in step.authorities}
+        assert "paper_judgment" in cited
+
+
+class TestKylloFactors:
+    def test_home_interior_with_exotic_tech_keeps_rep(self):
+        finding = analyze_privacy(
+            make_action(
+                home_interior=True, technology_in_general_public_use=False
+            )
+        )
+        assert finding.has_rep
+        cited = {key for step in finding.steps for key in step.authorities}
+        assert "kyllo" in cited
+
+
+class TestEncryptionAndSubjectivePrivacy:
+    def test_encryption_manifests_subjective_expectation(self):
+        finding = analyze_privacy(make_action(encrypted=True))
+        assert finding.subjective_expectation
+        cited = {key for step in finding.steps for key in step.authorities}
+        assert "katz" in cited
+
+    def test_rep_requires_both_prongs(self):
+        # Exposed + encrypted: subjective fails (exposure dominates).
+        finding = analyze_privacy(
+            make_action(encrypted=True, knowingly_exposed=True)
+        )
+        assert not finding.has_rep

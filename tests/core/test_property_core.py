@@ -1,0 +1,153 @@
+"""Property-based tests (hypothesis) for the core legal engine.
+
+Invariants the doctrine itself implies:
+
+* the engine is a pure function of the action;
+* public exposure always defeats REP, whatever else is true;
+* granting stronger process never makes a permitted action forbidden;
+* adding an effective consent never *raises* the required process;
+* rulings only ever cite authorities that exist.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Actor,
+    ComplianceEngine,
+    ConsentFacts,
+    ConsentScope,
+    DataKind,
+    DoctrineFacts,
+    EnvironmentContext,
+    InvestigativeAction,
+    Place,
+    ProcessKind,
+    Timing,
+    analyze_privacy,
+)
+
+_ENGINE = ComplianceEngine()
+
+contexts = st.builds(
+    EnvironmentContext,
+    place=st.sampled_from(list(Place)),
+    encrypted=st.booleans(),
+    knowingly_exposed=st.booleans(),
+    shared_with_others=st.booleans(),
+    delivered_to_recipient=st.booleans(),
+    provider_serves_public=st.none() | st.booleans(),
+    policy_eliminates_rep=st.booleans(),
+    home_interior=st.booleans(),
+    technology_in_general_public_use=st.booleans(),
+    abandoned=st.booleans(),
+)
+
+consents = st.builds(
+    ConsentFacts,
+    scope=st.sampled_from(list(ConsentScope)),
+    voluntary=st.booleans(),
+    exceeds_authority=st.booleans(),
+    revoked=st.booleans(),
+    covers_target_data=st.booleans(),
+)
+
+doctrines = st.builds(
+    DoctrineFacts,
+    exigent_circumstances=st.booleans(),
+    plain_view=st.booleans(),
+    target_on_probation=st.booleans(),
+    emergency_pen_trap=st.booleans(),
+    hash_search_of_lawful_media=st.booleans(),
+    mining_of_lawful_data=st.booleans(),
+    credentials_lawfully_obtained=st.booleans(),
+    monitoring_own_network=st.booleans(),
+    victim_invited_monitoring=st.booleans(),
+)
+
+actions = st.builds(
+    InvestigativeAction,
+    description=st.just("generated action"),
+    actor=st.sampled_from(list(Actor)),
+    data_kind=st.sampled_from(list(DataKind)),
+    timing=st.sampled_from(list(Timing)),
+    context=contexts,
+    consent=consents,
+    doctrine=doctrines,
+)
+
+
+@given(actions)
+@settings(max_examples=300)
+def test_engine_is_deterministic(action):
+    first = _ENGINE.evaluate(action)
+    second = _ENGINE.evaluate(action)
+    assert first.required_process is second.required_process
+    assert first.steps == second.steps
+
+
+@given(actions)
+@settings(max_examples=300)
+def test_public_exposure_defeats_rep(action):
+    if action.context.is_public_exposure():
+        assert not analyze_privacy(action).has_rep
+
+
+@given(actions)
+@settings(max_examples=300)
+def test_permits_is_monotone(action):
+    ruling = _ENGINE.evaluate(action)
+    ladder = sorted(ProcessKind)
+    permitted = [ruling.permits(kind) for kind in ladder]
+    # Once permitted on the ladder, always permitted above.
+    for weaker, stronger in zip(permitted, permitted[1:]):
+        assert stronger or not weaker
+    assert permitted[-1], "a wiretap order satisfies any requirement"
+
+
+@given(actions)
+@settings(max_examples=200)
+def test_effective_consent_never_raises_requirement(action):
+    import dataclasses
+
+    consented = dataclasses.replace(
+        action,
+        consent=ConsentFacts(scope=ConsentScope.TARGET),
+    )
+    base = _ENGINE.evaluate(action).required_process
+    with_consent = _ENGINE.evaluate(consented).required_process
+    assert with_consent <= base
+
+
+@given(actions)
+@settings(max_examples=200)
+def test_all_citations_resolve(action):
+    ruling = _ENGINE.evaluate(action)
+    for step in ruling.steps:
+        for key in step.authorities:
+            assert key in _ENGINE.registry
+
+
+@given(actions)
+@settings(max_examples=200)
+def test_private_actor_never_faces_fourth_amendment(action):
+    import dataclasses
+
+    from repro.core import LegalSource
+
+    private = dataclasses.replace(action, actor=Actor.PRIVATE)
+    ruling = _ENGINE.evaluate(private)
+    assert LegalSource.FOURTH_AMENDMENT not in ruling.governing_sources
+
+
+@given(actions)
+@settings(max_examples=200)
+def test_stored_acquisition_never_triggers_wiretap_act(action):
+    import dataclasses
+
+    from repro.core import LegalSource
+
+    stored = dataclasses.replace(action, timing=Timing.STORED)
+    ruling = _ENGINE.evaluate(stored)
+    assert LegalSource.WIRETAP_ACT not in ruling.governing_sources
+    assert LegalSource.PEN_TRAP not in ruling.governing_sources

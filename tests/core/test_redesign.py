@@ -1,0 +1,112 @@
+"""Unit tests for the advisor's non-content redesign suggestions."""
+
+import pytest
+
+from repro.core import (
+    Actor,
+    DataKind,
+    EnvironmentContext,
+    InvestigativeAction,
+    Place,
+    ProcessKind,
+    ResearchAdvisor,
+    Timing,
+)
+
+
+@pytest.fixture()
+def advisor():
+    return ResearchAdvisor()
+
+
+def content_tap():
+    return InvestigativeAction(
+        description="full intercept at the suspect's ISP",
+        actor=Actor.GOVERNMENT,
+        data_kind=DataKind.CONTENT,
+        timing=Timing.REAL_TIME,
+        context=EnvironmentContext(place=Place.TRANSMISSION_PATH),
+    )
+
+
+def header_tap():
+    return InvestigativeAction(
+        description="pen register at the suspect's ISP",
+        actor=Actor.GOVERNMENT,
+        data_kind=DataKind.NON_CONTENT,
+        timing=Timing.REAL_TIME,
+        context=EnvironmentContext(place=Place.TRANSMISSION_PATH),
+    )
+
+
+def stored_content_seizure():
+    return InvestigativeAction(
+        description="search seized computer",
+        actor=Actor.GOVERNMENT,
+        data_kind=DataKind.CONTENT,
+        timing=Timing.STORED,
+        context=EnvironmentContext(place=Place.SUSPECT_PREMISES),
+    )
+
+
+class TestRedesign:
+    def test_content_intercept_downgrades_to_pen_trap(self, advisor):
+        """The paper's watermark lesson: drop contents, keep rates."""
+        suggestion = advisor.suggest_redesign(
+            "naive flow tracer", [content_tap()]
+        )
+        assert suggestion is not None
+        assert (
+            suggestion.original.required_process
+            is ProcessKind.WIRETAP_ORDER
+        )
+        assert (
+            suggestion.redesigned.required_process
+            is ProcessKind.COURT_ORDER
+        )
+        assert suggestion.process_saved == 2
+        assert "Pen/Trap" in suggestion.note
+
+    def test_redesigned_actions_are_non_content(self, advisor):
+        suggestion = advisor.suggest_redesign("tracer", [content_tap()])
+        assert all(
+            action.data_kind is DataKind.NON_CONTENT
+            for action in suggestion.redesigned_actions
+        )
+        assert "rates/addressing" in (
+            suggestion.redesigned_actions[0].description
+        )
+
+    def test_already_non_content_has_no_redesign(self, advisor):
+        assert (
+            advisor.suggest_redesign("pen tracer", [header_tap()]) is None
+        )
+
+    def test_stored_content_is_not_downgradable(self, advisor):
+        # A premises search needs the content; the redesign only applies
+        # to real-time interception.
+        assert (
+            advisor.suggest_redesign(
+                "drive search", [stored_content_seizure()]
+            )
+            is None
+        )
+
+    def test_mixed_technique_downgrades_only_the_intercepts(self, advisor):
+        suggestion = advisor.suggest_redesign(
+            "mixed", [content_tap(), header_tap()]
+        )
+        assert suggestion is not None
+        kinds = [a.data_kind for a in suggestion.redesigned_actions]
+        assert kinds == [DataKind.NON_CONTENT, DataKind.NON_CONTENT]
+
+
+class TestQuickReference:
+    def test_renders_all_scenes(self):
+        from repro.core import build_table1
+        from repro.investigation import format_quick_reference
+
+        text = format_quick_reference(build_table1())
+        assert text.count("Scene ") == 20
+        assert "authorities:" in text
+        assert "katz" in text

@@ -1,0 +1,62 @@
+"""Tests for the structured (JSON) ruling export."""
+
+import json
+
+import pytest
+
+from repro.core import ComplianceEngine, build_table1
+
+
+@pytest.fixture(scope="module")
+def rulings(engine):
+    return [engine.evaluate(s.action) for s in build_table1()]
+
+
+class TestToDict:
+    def test_round_trips_through_json(self, rulings):
+        for ruling in rulings:
+            payload = json.dumps(ruling.to_dict())
+            restored = json.loads(payload)
+            assert restored["required_process"] == (
+                ruling.required_process.name
+            )
+
+    def test_needs_process_consistency(self, rulings):
+        for ruling in rulings:
+            exported = ruling.to_dict()
+            assert exported["needs_process"] == ruling.needs_process
+
+    def test_reasoning_preserved(self, rulings):
+        for ruling in rulings:
+            exported = ruling.to_dict()
+            assert len(exported["reasoning"]) == len(ruling.steps)
+            for step, item in zip(ruling.steps, exported["reasoning"]):
+                assert item["text"] == step.text
+                assert item["authorities"] == list(step.authorities)
+
+    def test_privacy_block(self, engine):
+        ruling = engine.evaluate(build_table1()[0].action)
+        exported = ruling.to_dict()
+        assert set(exported["privacy"]) == {
+            "subjective_expectation",
+            "objectively_reasonable",
+            "has_rep",
+        }
+
+    def test_exceptions_listed(self, engine):
+        # Scene 15 has consent + trespasser exceptions.
+        scene_15 = build_table1()[14]
+        exported = engine.evaluate(scene_15.action).to_dict()
+        kinds = {e["kind"] for e in exported["exceptions"]}
+        assert "consent" in kinds
+
+
+class TestCliJson:
+    def test_scene_json_output(self, capsys):
+        from repro.cli import main
+
+        assert main(["scene", "8", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scene"] == 8
+        assert payload["ruling"]["required_process"] == "WIRETAP_ORDER"
+        assert payload["paper_answer"] == "Need"

@@ -1,0 +1,149 @@
+"""Unit tests for the Stored Communications Act rule module."""
+
+import pytest
+
+from repro.core import (
+    Actor,
+    DataKind,
+    EnvironmentContext,
+    InvestigativeAction,
+    Place,
+    ProcessKind,
+    ProviderRole,
+    Timing,
+)
+from repro.core.statutes import sca
+
+
+def make_action(
+    data_kind=DataKind.CONTENT,
+    timing=Timing.STORED,
+    place=Place.THIRD_PARTY_PROVIDER,
+    **context_kwargs,
+):
+    return InvestigativeAction(
+        description="probe",
+        actor=Actor.GOVERNMENT,
+        data_kind=data_kind,
+        timing=timing,
+        context=EnvironmentContext(place=place, **context_kwargs),
+    )
+
+
+class TestProviderClassification:
+    """Section III.A.3: the Alice/Bob taxonomy."""
+
+    def test_unretrieved_message_makes_ecs(self):
+        assert (
+            sca.classify_provider(serves_public=True, message_retrieved=False)
+            is ProviderRole.ECS
+        )
+        assert (
+            sca.classify_provider(
+                serves_public=False, message_retrieved=False
+            )
+            is ProviderRole.ECS
+        )
+
+    def test_retrieved_message_at_public_provider_makes_rcs(self):
+        assert (
+            sca.classify_provider(serves_public=True, message_retrieved=True)
+            is ProviderRole.RCS
+        )
+
+    def test_retrieved_message_at_nonpublic_provider_drops_out(self):
+        assert (
+            sca.classify_provider(
+                serves_public=False, message_retrieved=True
+            )
+            is ProviderRole.NEITHER
+        )
+
+
+class TestApplicability:
+    def test_stored_at_provider_is_covered(self):
+        assert sca.applies(make_action())
+
+    def test_real_time_is_not_sca(self):
+        assert not sca.applies(make_action(timing=Timing.REAL_TIME))
+
+    def test_data_elsewhere_is_not_sca(self):
+        assert not sca.applies(make_action(place=Place.SUSPECT_PREMISES))
+
+
+class TestCompelledDisclosureTiers:
+    """The 2703 ladder."""
+
+    @pytest.mark.parametrize(
+        "data_kind,expected",
+        [
+            (DataKind.SUBSCRIBER_INFO, ProcessKind.SUBPOENA),
+            (DataKind.TRANSACTIONAL_RECORD, ProcessKind.COURT_ORDER),
+            (DataKind.NON_CONTENT, ProcessKind.COURT_ORDER),
+            (DataKind.CONTENT, ProcessKind.SEARCH_WARRANT),
+        ],
+    )
+    def test_tier_table(self, data_kind, expected):
+        requirement = sca.evaluate(make_action(data_kind=data_kind))
+        assert requirement is not None
+        assert requirement.process is expected
+
+    def test_dropped_out_message_has_no_sca_requirement(self):
+        action = make_action(
+            provider_serves_public=False, delivered_to_recipient=True
+        )
+        assert sca.provider_role_for(action) is ProviderRole.NEITHER
+        assert sca.evaluate(action) is None
+
+    def test_explicit_role_overrides_derivation(self):
+        action = make_action(provider_role=ProviderRole.NEITHER)
+        assert sca.evaluate(action) is None
+
+
+class TestVoluntaryDisclosure:
+    """The 2702 rules."""
+
+    def test_nonpublic_providers_may_disclose_freely(self):
+        assert sca.may_voluntarily_disclose(
+            serves_public=False,
+            data_kind=DataKind.CONTENT,
+            to_government=True,
+        )
+
+    def test_public_provider_may_not_volunteer_to_government(self):
+        assert not sca.may_voluntarily_disclose(
+            serves_public=True,
+            data_kind=DataKind.CONTENT,
+            to_government=True,
+        )
+        assert not sca.may_voluntarily_disclose(
+            serves_public=True,
+            data_kind=DataKind.SUBSCRIBER_INFO,
+            to_government=True,
+        )
+
+    def test_public_provider_may_give_non_content_to_private_parties(self):
+        assert sca.may_voluntarily_disclose(
+            serves_public=True,
+            data_kind=DataKind.TRANSACTIONAL_RECORD,
+            to_government=False,
+        )
+
+    def test_public_provider_may_not_give_content_to_anyone(self):
+        assert not sca.may_voluntarily_disclose(
+            serves_public=True,
+            data_kind=DataKind.CONTENT,
+            to_government=False,
+        )
+
+    @pytest.mark.parametrize(
+        "exception",
+        ["emergency", "user_consented", "protects_provider"],
+    )
+    def test_enumerated_exceptions_permit_disclosure(self, exception):
+        assert sca.may_voluntarily_disclose(
+            serves_public=True,
+            data_kind=DataKind.CONTENT,
+            to_government=True,
+            **{exception: True},
+        )

@@ -1,0 +1,89 @@
+"""Table 1 scene encodings: every row individually verified."""
+
+import pytest
+
+from repro.core import ProcessKind, build_table1
+
+#: Expected engine outcome per scene: (paper "needs process", the exact
+#: process the engine should demand).  The processes are the natural
+#: doctrinal readings of each row; the paper itself only publishes the
+#: binary answer.
+EXPECTED = {
+    1: (False, ProcessKind.NONE),
+    2: (False, ProcessKind.NONE),
+    3: (False, ProcessKind.NONE),
+    4: (True, ProcessKind.WIRETAP_ORDER),
+    5: (False, ProcessKind.NONE),
+    6: (True, ProcessKind.WIRETAP_ORDER),
+    7: (True, ProcessKind.COURT_ORDER),
+    8: (True, ProcessKind.WIRETAP_ORDER),
+    9: (False, ProcessKind.NONE),
+    10: (False, ProcessKind.NONE),
+    11: (False, ProcessKind.NONE),
+    12: (True, ProcessKind.SEARCH_WARRANT),
+    13: (True, ProcessKind.WIRETAP_ORDER),
+    14: (True, ProcessKind.WIRETAP_ORDER),
+    15: (False, ProcessKind.NONE),
+    16: (True, ProcessKind.SEARCH_WARRANT),
+    17: (False, ProcessKind.NONE),
+    18: (True, ProcessKind.SEARCH_WARRANT),
+    19: (False, ProcessKind.NONE),
+    20: (False, ProcessKind.NONE),
+}
+
+#: Rows the paper marks (*) — the authors' own judgment.
+STARRED = {3, 4, 5, 6}
+
+
+@pytest.fixture(scope="module")
+def scenes():
+    return {scene.number: scene for scene in build_table1()}
+
+
+def test_table_has_twenty_scenes(scenes):
+    assert sorted(scenes) == list(range(1, 21))
+
+
+@pytest.mark.parametrize("number", sorted(EXPECTED))
+def test_scene_matches_paper(engine, scenes, number):
+    scene = scenes[number]
+    needs, process = EXPECTED[number]
+    assert scene.paper_needs_process == needs, (
+        f"scene {number}: encoded paper answer drifted"
+    )
+    ruling = engine.evaluate(scene.action)
+    assert ruling.needs_process == needs
+    assert ruling.required_process is process
+
+
+@pytest.mark.parametrize("number", sorted(STARRED))
+def test_starred_encoding(scenes, number):
+    assert scenes[number].starred
+    assert "(*)" in scenes[number].paper_answer
+
+
+def test_unstarred_rows_have_plain_answers(scenes):
+    for number, scene in scenes.items():
+        if number not in STARRED:
+            assert "(*)" not in scene.paper_answer
+
+
+def test_scene_descriptions_are_distinct(scenes):
+    descriptions = {s.action.description for s in scenes.values()}
+    assert len(descriptions) == 20
+
+
+def test_wifi_rows_differ_only_in_data_kind_and_encryption(scenes):
+    """Rows 3-6 form a 2x2 grid over (headers/content, open/encrypted)."""
+    grid = {
+        (scenes[n].action.data_kind, scenes[n].action.context.encrypted)
+        for n in (3, 4, 5, 6)
+    }
+    assert len(grid) == 4
+
+
+def test_scene_15_16_share_the_trespasser_doctrine(scenes):
+    assert scenes[15].action.doctrine.victim_invited_monitoring
+    assert scenes[16].action.doctrine.victim_invited_monitoring
+    assert scenes[15].action.consent.covers_target_data
+    assert not scenes[16].action.consent.covers_target_data

@@ -1,0 +1,96 @@
+"""Unit tests for warrant scope (section III.A.2(a))."""
+
+import pytest
+
+from repro.core.scope import (
+    ExaminedRecord,
+    ScopeDecision,
+    WarrantScope,
+    classify_record,
+    locations_requiring_new_warrants,
+)
+
+
+@pytest.fixture()
+def scope():
+    return WarrantScope(
+        place="Mallory residence",
+        crime="wire fraud",
+        categories=frozenset({"financial-records", "email"}),
+        locations=frozenset({"Mallory residence", "home office"}),
+    )
+
+
+class TestWarrantScope:
+    def test_requires_place_and_categories(self):
+        with pytest.raises(ValueError):
+            WarrantScope(place="", crime="x", categories=frozenset({"a"}))
+        with pytest.raises(ValueError):
+            WarrantScope(place="home", crime="x", categories=frozenset())
+
+    def test_place_defaults_into_locations(self):
+        scope = WarrantScope(
+            place="home", crime="x", categories=frozenset({"a"})
+        )
+        assert scope.covers_location("home")
+
+    def test_category_and_location_cover(self, scope):
+        assert scope.covers_category("email")
+        assert not scope.covers_category("photos")
+        assert scope.covers_location("home office")
+        assert not scope.covers_location("offsite server")
+
+
+class TestClassification:
+    def test_in_scope(self, scope):
+        record = ExaminedRecord(
+            name="ledger.xlsx",
+            category="financial-records",
+            location="Mallory residence",
+        )
+        assert classify_record(scope, record) is ScopeDecision.IN_SCOPE
+
+    def test_plain_view(self, scope):
+        record = ExaminedRecord(
+            name="cp-file.jpg",
+            category="photos",
+            location="Mallory residence",
+            incriminating_apparent=True,
+        )
+        assert classify_record(scope, record) is ScopeDecision.PLAIN_VIEW
+
+    def test_out_of_scope(self, scope):
+        record = ExaminedRecord(
+            name="diary.txt",
+            category="personal-notes",
+            location="Mallory residence",
+        )
+        assert classify_record(scope, record) is ScopeDecision.OUT_OF_SCOPE
+
+    def test_wrong_location_trumps_category(self, scope):
+        record = ExaminedRecord(
+            name="ledger-backup.xlsx",
+            category="financial-records",
+            location="offsite server",
+        )
+        assert (
+            classify_record(scope, record) is ScopeDecision.WRONG_LOCATION
+        )
+
+
+class TestMultiLocationRule:
+    def test_foreign_locations_collected(self, scope):
+        records = [
+            ExaminedRecord("a", "email", "Mallory residence"),
+            ExaminedRecord("b", "email", "cloud-provider-east"),
+            ExaminedRecord("c", "email", "cloud-provider-west"),
+            ExaminedRecord("d", "email", "home office"),
+        ]
+        needed = locations_requiring_new_warrants(scope, records)
+        assert needed == frozenset(
+            {"cloud-provider-east", "cloud-provider-west"}
+        )
+
+    def test_no_foreign_locations(self, scope):
+        records = [ExaminedRecord("a", "email", "Mallory residence")]
+        assert locations_requiring_new_warrants(scope, records) == frozenset()

@@ -1,0 +1,142 @@
+"""Unit tests for the Wiretap Act (Title III) rule module."""
+
+import pytest
+
+from repro.core import (
+    Actor,
+    ConsentFacts,
+    ConsentScope,
+    DataKind,
+    DoctrineFacts,
+    EnvironmentContext,
+    ExceptionKind,
+    InvestigativeAction,
+    Place,
+    ProcessKind,
+    Timing,
+)
+from repro.core.statutes import wiretap
+
+
+def make_action(
+    data_kind=DataKind.CONTENT,
+    timing=Timing.REAL_TIME,
+    actor=Actor.GOVERNMENT,
+    consent=None,
+    doctrine=None,
+    **context_kwargs,
+):
+    context_kwargs.setdefault("place", Place.TRANSMISSION_PATH)
+    return InvestigativeAction(
+        description="probe",
+        actor=actor,
+        data_kind=data_kind,
+        timing=timing,
+        context=EnvironmentContext(**context_kwargs),
+        consent=consent or ConsentFacts(),
+        doctrine=doctrine or DoctrineFacts(),
+    )
+
+
+class TestApplicability:
+    def test_real_time_content_is_covered(self):
+        assert wiretap.applies(make_action())
+
+    def test_stored_content_is_not_interception(self):
+        # Steve Jackson Games: contemporaneity requirement.
+        assert not wiretap.applies(make_action(timing=Timing.STORED))
+
+    def test_non_content_is_pen_trap_territory(self):
+        assert not wiretap.applies(
+            make_action(data_kind=DataKind.NON_CONTENT)
+        )
+
+
+class TestRequirement:
+    def test_interception_requires_title_iii_order(self):
+        requirement = wiretap.evaluate(make_action())
+        assert requirement is not None
+        assert requirement.process is ProcessKind.WIRETAP_ORDER
+
+    def test_inapplicable_returns_none(self):
+        assert wiretap.evaluate(make_action(timing=Timing.STORED)) is None
+
+
+class TestStatutoryExceptions:
+    def test_provider_exception(self):
+        found = wiretap.statutory_exception(make_action(actor=Actor.PROVIDER))
+        assert found is not None
+        kind, step = found
+        assert kind is ExceptionKind.PROVIDER_SELF_PROTECTION
+        assert "2511(2)(a)(i)" in step.text
+
+    def test_own_network_monitoring_counts_as_provider(self):
+        found = wiretap.statutory_exception(
+            make_action(doctrine=DoctrineFacts(monitoring_own_network=True))
+        )
+        assert found is not None
+        assert found[0] is ExceptionKind.PROVIDER_SELF_PROTECTION
+
+    def test_trespasser_exception(self):
+        found = wiretap.statutory_exception(
+            make_action(
+                doctrine=DoctrineFacts(victim_invited_monitoring=True)
+            )
+        )
+        assert found is not None
+        assert found[0] is ExceptionKind.COMPUTER_TRESPASSER
+
+    def test_trespasser_exception_limited_to_victim_system(self):
+        # Table 1 scene 16: the consent does not reach the attacker's box.
+        action = make_action(
+            consent=ConsentFacts(
+                scope=ConsentScope.NETWORK_OWNER, covers_target_data=False
+            ),
+            doctrine=DoctrineFacts(victim_invited_monitoring=True),
+        )
+        assert wiretap.statutory_exception(action) is None
+
+    @pytest.mark.parametrize(
+        "scope",
+        [
+            ConsentScope.ONE_PARTY_TO_COMMUNICATION,
+            ConsentScope.NETWORK_OWNER,
+            ConsentScope.TARGET,
+        ],
+    )
+    def test_party_consent(self, scope):
+        found = wiretap.statutory_exception(
+            make_action(consent=ConsentFacts(scope=scope))
+        )
+        assert found is not None
+        assert found[0] is ExceptionKind.PARTY_CONSENT
+
+    def test_spouse_consent_is_not_party_consent(self):
+        # A spouse may consent to *searches of property*, but is not a
+        # party to the communication for 2511(2)(c) purposes.
+        found = wiretap.statutory_exception(
+            make_action(consent=ConsentFacts(scope=ConsentScope.SPOUSE))
+        )
+        assert found is None
+
+    def test_public_access_exception(self):
+        found = wiretap.statutory_exception(
+            make_action(place=Place.PUBLIC, knowingly_exposed=True)
+        )
+        assert found is not None
+        assert found[0] is ExceptionKind.ACCESSIBLE_TO_PUBLIC
+
+    def test_open_wifi_payload_is_not_publicly_accessible(self):
+        # Table 1 row 4: the Street View lesson — radiated payloads are
+        # not "readily accessible to the general public".
+        found = wiretap.statutory_exception(
+            make_action(place=Place.WIRELESS_BROADCAST)
+        )
+        assert found is None
+        requirement = wiretap.evaluate(
+            make_action(place=Place.WIRELESS_BROADCAST)
+        )
+        assert requirement is not None
+
+    def test_exception_suppresses_requirement(self):
+        assert wiretap.evaluate(make_action(actor=Actor.PROVIDER)) is None

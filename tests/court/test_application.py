@@ -1,0 +1,88 @@
+"""Unit tests for process applications."""
+
+from repro.core import ProcessKind, Standard
+from repro.court.application import Fact, ProcessApplication
+
+
+def fact(supports, description="a fact", observed_at=0.0):
+    return Fact(
+        description=description, supports=supports, observed_at=observed_at
+    )
+
+
+class TestShowing:
+    def test_no_facts_shows_nothing(self):
+        application = ProcessApplication(
+            kind=ProcessKind.SUBPOENA, applicant="officer", facts=()
+        )
+        assert application.showing() is Standard.NOTHING
+
+    def test_showing_is_maximum_not_sum(self):
+        application = ProcessApplication(
+            kind=ProcessKind.SEARCH_WARRANT,
+            applicant="officer",
+            facts=(
+                fact(Standard.MERE_SUSPICION),
+                fact(Standard.MERE_SUSPICION),
+                fact(Standard.MERE_SUSPICION),
+            ),
+        )
+        # Ten suspicions are still suspicion.
+        assert application.showing() is Standard.MERE_SUSPICION
+
+    def test_strongest_fact_carries(self):
+        application = ProcessApplication(
+            kind=ProcessKind.SEARCH_WARRANT,
+            applicant="officer",
+            facts=(
+                fact(Standard.MERE_SUSPICION),
+                fact(Standard.PROBABLE_CAUSE),
+            ),
+        )
+        assert application.showing() is Standard.PROBABLE_CAUSE
+
+
+class TestParticularity:
+    def test_warrant_without_place_fails(self):
+        application = ProcessApplication(
+            kind=ProcessKind.SEARCH_WARRANT,
+            applicant="officer",
+            facts=(fact(Standard.PROBABLE_CAUSE),),
+            target_items=("computers",),
+        )
+        assert not application.is_particular()
+
+    def test_warrant_without_items_fails(self):
+        application = ProcessApplication(
+            kind=ProcessKind.SEARCH_WARRANT,
+            applicant="officer",
+            facts=(fact(Standard.PROBABLE_CAUSE),),
+            target_place="5 Elm St",
+        )
+        assert not application.is_particular()
+
+    def test_particular_warrant_passes(self):
+        application = ProcessApplication(
+            kind=ProcessKind.SEARCH_WARRANT,
+            applicant="officer",
+            facts=(fact(Standard.PROBABLE_CAUSE),),
+            target_place="5 Elm St",
+            target_items=("computers", "media"),
+        )
+        assert application.is_particular()
+
+    def test_subpoena_needs_no_particularity(self):
+        application = ProcessApplication(
+            kind=ProcessKind.SUBPOENA,
+            applicant="officer",
+            facts=(fact(Standard.MERE_SUSPICION),),
+        )
+        assert application.is_particular()
+
+    def test_wiretap_order_needs_particularity(self):
+        application = ProcessApplication(
+            kind=ProcessKind.WIRETAP_ORDER,
+            applicant="officer",
+            facts=(fact(Standard.SUPER_WARRANT_SHOWING),),
+        )
+        assert not application.is_particular()

@@ -1,0 +1,198 @@
+"""Unit tests for exclusionary-rule limits (good faith, Nix, Wong Sun)."""
+
+import pytest
+
+from repro.core import (
+    Actor,
+    Admissibility,
+    DataKind,
+    EnvironmentContext,
+    InvestigativeAction,
+    Place,
+    ProcessKind,
+    Timing,
+)
+from repro.court.doctrines import (
+    INEVITABILITY_THRESHOLD,
+    ProsecutionResponse,
+    ResponseKind,
+    response_prevails,
+)
+from repro.court.suppression import SuppressionHearing
+from repro.evidence.items import EvidenceItem, derive
+
+
+def warrant_action():
+    return InvestigativeAction(
+        description="search private computer",
+        actor=Actor.GOVERNMENT,
+        data_kind=DataKind.CONTENT,
+        timing=Timing.STORED,
+        context=EnvironmentContext(place=Place.SUSPECT_PREMISES),
+    )
+
+
+def free_action():
+    return InvestigativeAction(
+        description="read public data",
+        actor=Actor.GOVERNMENT,
+        data_kind=DataKind.CONTENT,
+        timing=Timing.STORED,
+        context=EnvironmentContext(place=Place.PUBLIC, knowingly_exposed=True),
+    )
+
+
+def make_item(action, held, content="x"):
+    return EvidenceItem(
+        description="item",
+        content=content,
+        acquired_by="officer",
+        acquired_at=0.0,
+        action=action,
+        process_held=held,
+    )
+
+
+class TestResponsePrevails:
+    def test_good_faith_on_facially_valid_warrant(self):
+        response = ProsecutionResponse(
+            evidence_id=1,
+            kind=ResponseKind.GOOD_FAITH_RELIANCE,
+            basis="warrant later invalidated for a defective affidavit",
+            warrant_facially_valid=True,
+        )
+        prevails, reason = response_prevails(response, False)
+        assert prevails
+        assert "Leon" in reason
+
+    def test_good_faith_fails_on_facially_deficient_warrant(self):
+        response = ProsecutionResponse(
+            evidence_id=1,
+            kind=ResponseKind.GOOD_FAITH_RELIANCE,
+            basis="warrant named no place at all",
+            warrant_facially_valid=False,
+        )
+        prevails, __ = response_prevails(response, False)
+        assert not prevails
+
+    def test_independent_source_requires_admitted_parallel(self):
+        response = ProsecutionResponse(
+            evidence_id=1,
+            kind=ResponseKind.INDEPENDENT_SOURCE,
+            basis="a cooperating witness produced the same records",
+            independent_evidence_id=9,
+        )
+        assert response_prevails(response, True)[0]
+        assert not response_prevails(response, False)[0]
+
+    def test_independent_source_without_named_evidence_fails(self):
+        response = ProsecutionResponse(
+            evidence_id=1,
+            kind=ResponseKind.INDEPENDENT_SOURCE,
+            basis="vague claim",
+        )
+        assert not response_prevails(response, True)[0]
+
+    def test_inevitable_discovery_threshold(self):
+        near_certain = ProsecutionResponse(
+            evidence_id=1,
+            kind=ResponseKind.INEVITABLE_DISCOVERY,
+            basis="inventory search was already scheduled",
+            discovery_probability=INEVITABILITY_THRESHOLD,
+        )
+        merely_possible = ProsecutionResponse(
+            evidence_id=1,
+            kind=ResponseKind.INEVITABLE_DISCOVERY,
+            basis="someone might have looked eventually",
+            discovery_probability=0.5,
+        )
+        assert response_prevails(near_certain, False)[0]
+        assert not response_prevails(merely_possible, False)[0]
+
+    def test_attenuation_needs_a_basis(self):
+        with_basis = ProsecutionResponse(
+            evidence_id=1,
+            kind=ResponseKind.ATTENUATION,
+            basis="months passed and an intervening voluntary confession",
+        )
+        bare = ProsecutionResponse(
+            evidence_id=1, kind=ResponseKind.ATTENUATION, basis="  "
+        )
+        assert response_prevails(with_basis, False)[0]
+        assert not response_prevails(bare, False)[0]
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            ProsecutionResponse(
+                evidence_id=1,
+                kind=ResponseKind.INEVITABLE_DISCOVERY,
+                basis="x",
+                discovery_probability=1.5,
+            )
+
+
+class TestHearingIntegration:
+    def test_good_faith_saves_the_evidence(self):
+        item = make_item(warrant_action(), ProcessKind.NONE)
+        hearing = SuppressionHearing()
+        response = ProsecutionResponse(
+            evidence_id=item.evidence_id,
+            kind=ResponseKind.GOOD_FAITH_RELIANCE,
+            basis="officer executed a warrant quashed months later",
+        )
+        outcome = hearing.hear(
+            [item], responses={item.evidence_id: response}
+        )
+        assert outcome.outcome_for(item) is Admissibility.ADMISSIBLE
+        assert "Leon" in outcome.findings[item.evidence_id].reason
+
+    def test_saved_parent_cleans_the_fruit(self):
+        parent = make_item(warrant_action(), ProcessKind.NONE)
+        child = derive(parent, "analysis", "y", free_action())
+        response = ProsecutionResponse(
+            evidence_id=parent.evidence_id,
+            kind=ResponseKind.GOOD_FAITH_RELIANCE,
+            basis="reliance on a facially valid warrant",
+        )
+        outcome = SuppressionHearing().hear(
+            [parent, child], responses={parent.evidence_id: response}
+        )
+        assert outcome.outcome_for(parent) is Admissibility.ADMISSIBLE
+        assert outcome.outcome_for(child) is Admissibility.ADMISSIBLE
+
+    def test_independent_source_saves_derivative(self):
+        tainted_parent = make_item(warrant_action(), ProcessKind.NONE)
+        clean_parallel = make_item(free_action(), ProcessKind.NONE, "same")
+        fruit = derive(tainted_parent, "records", "same", free_action())
+        response = ProsecutionResponse(
+            evidence_id=fruit.evidence_id,
+            kind=ResponseKind.INDEPENDENT_SOURCE,
+            basis="the same records came from the clean acquisition",
+            independent_evidence_id=clean_parallel.evidence_id,
+        )
+        outcome = SuppressionHearing().hear(
+            [tainted_parent, clean_parallel, fruit],
+            responses={fruit.evidence_id: response},
+        )
+        assert (
+            outcome.outcome_for(tainted_parent) is Admissibility.SUPPRESSED
+        )
+        assert outcome.outcome_for(fruit) is Admissibility.ADMISSIBLE
+
+    def test_failed_response_changes_nothing(self):
+        item = make_item(warrant_action(), ProcessKind.NONE)
+        response = ProsecutionResponse(
+            evidence_id=item.evidence_id,
+            kind=ResponseKind.INEVITABLE_DISCOVERY,
+            basis="maybe",
+            discovery_probability=0.2,
+        )
+        outcome = SuppressionHearing().hear(
+            [item], responses={item.evidence_id: response}
+        )
+        assert outcome.outcome_for(item) is Admissibility.SUPPRESSED
+
+    def test_response_never_needed_for_lawful_evidence(self):
+        item = make_item(warrant_action(), ProcessKind.SEARCH_WARRANT)
+        outcome = SuppressionHearing().hear([item], responses={})
+        assert outcome.outcome_for(item) is Admissibility.ADMISSIBLE

@@ -1,0 +1,229 @@
+"""Unit tests for the magistrate and the docket."""
+
+import pytest
+
+from repro.core import ProcessKind, Standard
+from repro.court.application import Fact, ProcessApplication
+from repro.court.docket import DEFAULT_VALIDITY, Docket, IssuedProcess
+from repro.court.magistrate import Magistrate
+
+
+def application(kind, supports, observed_at=0.0, applied_at=0.0, **kwargs):
+    defaults = dict(
+        target_place="place",
+        target_items=("things",),
+        necessity_statement="normal techniques exhausted (stipulated)",
+    )
+    defaults.update(kwargs)
+    return ProcessApplication(
+        kind=kind,
+        applicant="officer",
+        facts=(
+            Fact(
+                description="fact",
+                supports=supports,
+                observed_at=observed_at,
+            ),
+        ),
+        applied_at=applied_at,
+        **defaults,
+    )
+
+
+class TestStandardsLadder:
+    """Section II.A: suspicion -> articulable facts -> probable cause."""
+
+    @pytest.mark.parametrize(
+        "kind,sufficient,insufficient",
+        [
+            (
+                ProcessKind.SUBPOENA,
+                Standard.MERE_SUSPICION,
+                Standard.NOTHING,
+            ),
+            (
+                ProcessKind.COURT_ORDER,
+                Standard.SPECIFIC_AND_ARTICULABLE_FACTS,
+                Standard.MERE_SUSPICION,
+            ),
+            (
+                ProcessKind.SEARCH_WARRANT,
+                Standard.PROBABLE_CAUSE,
+                Standard.SPECIFIC_AND_ARTICULABLE_FACTS,
+            ),
+            (
+                ProcessKind.WIRETAP_ORDER,
+                Standard.SUPER_WARRANT_SHOWING,
+                Standard.PROBABLE_CAUSE,
+            ),
+        ],
+    )
+    def test_grant_and_deny(self, kind, sufficient, insufficient):
+        magistrate = Magistrate()
+        granted = magistrate.review(application(kind, sufficient))
+        assert granted.granted
+        assert granted.instrument.kind is kind
+        denied = magistrate.review(application(kind, insufficient))
+        assert not denied.granted
+        assert denied.instrument is None
+
+    def test_none_kind_never_grants(self):
+        magistrate = Magistrate()
+        decision = magistrate.review(
+            application(ProcessKind.NONE, Standard.PROBABLE_CAUSE)
+        )
+        assert not decision.granted
+
+    def test_warrant_needs_particularity(self):
+        magistrate = Magistrate()
+        vague = application(
+            ProcessKind.SEARCH_WARRANT,
+            Standard.PROBABLE_CAUSE,
+            target_place="",
+            target_items=(),
+        )
+        decision = magistrate.review(vague)
+        assert not decision.granted
+        assert "particularity" in decision.reason
+
+    def test_wiretap_order_needs_necessity(self):
+        """18 U.S.C. 2518(1)(c): no necessity showing, no Title III order."""
+        magistrate = Magistrate()
+        no_necessity = application(
+            ProcessKind.WIRETAP_ORDER,
+            Standard.SUPER_WARRANT_SHOWING,
+            necessity_statement="",
+        )
+        decision = magistrate.review(no_necessity)
+        assert not decision.granted
+        assert "necessity" in decision.reason
+
+    def test_ordinary_warrant_needs_no_necessity(self):
+        magistrate = Magistrate()
+        decision = magistrate.review(
+            application(
+                ProcessKind.SEARCH_WARRANT,
+                Standard.PROBABLE_CAUSE,
+                necessity_statement="",
+            )
+        )
+        assert decision.granted
+
+
+class TestStaleness:
+    def test_no_horizon_means_old_facts_still_count(self):
+        magistrate = Magistrate(staleness_horizon=None)
+        ancient = application(
+            ProcessKind.SEARCH_WARRANT,
+            Standard.PROBABLE_CAUSE,
+            observed_at=0.0,
+            applied_at=10 * 365 * 86400.0,
+        )
+        assert magistrate.review(ancient).granted
+
+    def test_horizon_discounts_stale_facts(self):
+        magistrate = Magistrate(staleness_horizon=30 * 86400.0)
+        stale = application(
+            ProcessKind.SEARCH_WARRANT,
+            Standard.PROBABLE_CAUSE,
+            observed_at=0.0,
+            applied_at=60 * 86400.0,
+        )
+        assert not magistrate.review(stale).granted
+
+    def test_fresh_facts_survive_horizon(self):
+        magistrate = Magistrate(staleness_horizon=30 * 86400.0)
+        fresh = application(
+            ProcessKind.SEARCH_WARRANT,
+            Standard.PROBABLE_CAUSE,
+            observed_at=50 * 86400.0,
+            applied_at=60 * 86400.0,
+        )
+        assert magistrate.review(fresh).granted
+
+
+class TestDocket:
+    def test_statistics(self):
+        magistrate = Magistrate()
+        magistrate.review(
+            application(ProcessKind.SUBPOENA, Standard.MERE_SUSPICION)
+        )
+        magistrate.review(
+            application(ProcessKind.SEARCH_WARRANT, Standard.MERE_SUSPICION)
+        )
+        assert magistrate.docket.applications_received == 2
+        assert magistrate.docket.applications_denied == 1
+        assert len(magistrate.docket.instruments) == 1
+
+    def test_active_for_and_strongest(self):
+        docket = Docket()
+        docket.file(
+            IssuedProcess(
+                kind=ProcessKind.SUBPOENA,
+                issued_to="officer",
+                issued_at=0.0,
+                expires_at=100.0,
+            )
+        )
+        docket.file(
+            IssuedProcess(
+                kind=ProcessKind.SEARCH_WARRANT,
+                issued_to="officer",
+                issued_at=0.0,
+                expires_at=50.0,
+            )
+        )
+        assert (
+            docket.strongest_process("officer", 10.0)
+            is ProcessKind.SEARCH_WARRANT
+        )
+        # Warrant expired at t=60; subpoena remains.
+        assert (
+            docket.strongest_process("officer", 60.0) is ProcessKind.SUBPOENA
+        )
+        assert docket.strongest_process("other", 10.0) is ProcessKind.NONE
+
+
+class TestIssuedProcess:
+    def test_validity_window(self):
+        instrument = IssuedProcess(
+            kind=ProcessKind.SEARCH_WARRANT,
+            issued_to="officer",
+            issued_at=10.0,
+            expires_at=20.0,
+        )
+        assert not instrument.valid_at(5.0)
+        assert instrument.valid_at(15.0)
+        assert not instrument.valid_at(25.0)
+
+    def test_revocation(self):
+        instrument = IssuedProcess(
+            kind=ProcessKind.SUBPOENA,
+            issued_to="officer",
+            issued_at=0.0,
+            expires_at=100.0,
+        )
+        instrument.revoke()
+        assert not instrument.valid_at(50.0)
+
+    def test_default_validity_warrants_shortest(self):
+        assert (
+            DEFAULT_VALIDITY[ProcessKind.SEARCH_WARRANT]
+            < DEFAULT_VALIDITY[ProcessKind.COURT_ORDER]
+            < DEFAULT_VALIDITY[ProcessKind.SUBPOENA]
+        )
+
+    def test_issued_instrument_carries_window(self):
+        magistrate = Magistrate()
+        decision = magistrate.review(
+            application(
+                ProcessKind.SEARCH_WARRANT,
+                Standard.PROBABLE_CAUSE,
+                applied_at=1000.0,
+            )
+        )
+        instrument = decision.instrument
+        assert instrument.issued_at == 1000.0
+        assert instrument.expires_at == 1000.0 + DEFAULT_VALIDITY[
+            ProcessKind.SEARCH_WARRANT
+        ]

@@ -1,0 +1,76 @@
+"""Property-based tests for the court substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ProcessKind, Standard
+from repro.court.application import Fact, ProcessApplication
+from repro.court.magistrate import Magistrate
+
+standards = st.sampled_from(list(Standard))
+kinds = st.sampled_from(
+    [
+        ProcessKind.SUBPOENA,
+        ProcessKind.COURT_ORDER,
+        ProcessKind.SEARCH_WARRANT,
+        ProcessKind.WIRETAP_ORDER,
+    ]
+)
+
+
+def make_application(kind, fact_standards):
+    return ProcessApplication(
+        kind=kind,
+        applicant="officer",
+        facts=tuple(
+            Fact(description=f"fact-{i}", supports=standard)
+            for i, standard in enumerate(fact_standards)
+        ),
+        target_place="place",
+        target_items=("items",),
+        necessity_statement="normal techniques exhausted",
+    )
+
+
+@given(kind=kinds, fact_standards=st.lists(standards, max_size=6))
+@settings(max_examples=150, deadline=None)
+def test_grant_iff_showing_meets_ladder(kind, fact_standards):
+    """The magistrate's decision is exactly the ladder comparison."""
+    from repro.core import REQUIRED_SHOWING
+
+    decision = Magistrate().review(make_application(kind, fact_standards))
+    showing = (
+        max(fact_standards) if fact_standards else Standard.NOTHING
+    )
+    assert decision.granted == showing.satisfies(REQUIRED_SHOWING[kind])
+
+
+@given(
+    kind=kinds,
+    fact_standards=st.lists(standards, min_size=1, max_size=5),
+    extra=standards,
+)
+@settings(max_examples=150, deadline=None)
+def test_adding_facts_never_hurts(kind, fact_standards, extra):
+    """An application never loses by offering one more fact."""
+    base = Magistrate().review(make_application(kind, fact_standards))
+    augmented = Magistrate().review(
+        make_application(kind, fact_standards + [extra])
+    )
+    assert augmented.granted or not base.granted
+
+
+@given(fact_standards=st.lists(standards, min_size=1, max_size=5))
+@settings(max_examples=100, deadline=None)
+def test_instrument_validity_window(fact_standards):
+    """Granted instruments are valid at issuance and invalid after expiry."""
+    decision = Magistrate().review(
+        make_application(ProcessKind.SUBPOENA, fact_standards)
+    )
+    if not decision.granted:
+        return
+    instrument = decision.instrument
+    assert instrument.valid_at(instrument.issued_at)
+    assert not instrument.valid_at(instrument.expires_at + 1.0)
+    instrument.revoke()
+    assert not instrument.valid_at(instrument.issued_at)

@@ -1,0 +1,64 @@
+"""Unit tests for the suppression hearing."""
+
+from repro.core import (
+    Actor,
+    Admissibility,
+    DataKind,
+    EnvironmentContext,
+    InvestigativeAction,
+    Place,
+    ProcessKind,
+    Timing,
+)
+from repro.court.suppression import SuppressionHearing
+from repro.evidence.items import EvidenceItem
+
+
+def warrant_action():
+    return InvestigativeAction(
+        description="search private computer",
+        actor=Actor.GOVERNMENT,
+        data_kind=DataKind.CONTENT,
+        timing=Timing.STORED,
+        context=EnvironmentContext(place=Place.SUSPECT_PREMISES),
+    )
+
+
+def make_item(held, content="x"):
+    return EvidenceItem(
+        description="item",
+        content=content,
+        acquired_by="officer",
+        acquired_at=0.0,
+        action=warrant_action(),
+        process_held=held,
+    )
+
+
+class TestHearing:
+    def test_partition(self):
+        lawful = make_item(ProcessKind.SEARCH_WARRANT, "lawful")
+        unlawful = make_item(ProcessKind.NONE, "unlawful")
+        outcome = SuppressionHearing().hear([lawful, unlawful])
+        assert outcome.admitted == (lawful,)
+        assert outcome.suppressed == (unlawful,)
+        assert outcome.suppression_rate == 0.5
+
+    def test_outcome_for(self):
+        item = make_item(ProcessKind.NONE)
+        outcome = SuppressionHearing().hear([item])
+        assert outcome.outcome_for(item) is Admissibility.SUPPRESSED
+
+    def test_empty_hearing(self):
+        outcome = SuppressionHearing().hear([])
+        assert outcome.suppression_rate == 0.0
+        assert outcome.admitted == ()
+        assert outcome.suppressed == ()
+
+    def test_findings_carry_rulings(self):
+        item = make_item(ProcessKind.NONE)
+        outcome = SuppressionHearing().hear([item])
+        finding = outcome.findings[item.evidence_id]
+        assert (
+            finding.ruling.required_process is ProcessKind.SEARCH_WARRANT
+        )

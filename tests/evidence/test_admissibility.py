@@ -1,0 +1,146 @@
+"""Unit tests for the exclusionary-rule analyzer."""
+
+import pytest
+
+from repro.core import (
+    Actor,
+    Admissibility,
+    DataKind,
+    EnvironmentContext,
+    InvestigativeAction,
+    Place,
+    ProcessKind,
+    Timing,
+)
+from repro.evidence.admissibility import AdmissibilityAnalyzer
+from repro.evidence.custody import ChainOfCustody
+from repro.evidence.items import EvidenceItem, derive
+
+
+def warrant_action():
+    """An action requiring a search warrant (content on private premises)."""
+    return InvestigativeAction(
+        description="search suspect's computer",
+        actor=Actor.GOVERNMENT,
+        data_kind=DataKind.CONTENT,
+        timing=Timing.STORED,
+        context=EnvironmentContext(place=Place.SUSPECT_PREMISES),
+    )
+
+
+def free_action():
+    """An action needing no process (public website)."""
+    return InvestigativeAction(
+        description="read public website",
+        actor=Actor.GOVERNMENT,
+        data_kind=DataKind.CONTENT,
+        timing=Timing.STORED,
+        context=EnvironmentContext(place=Place.PUBLIC, knowingly_exposed=True),
+    )
+
+
+def make_item(action, held, content="data"):
+    return EvidenceItem(
+        description="item",
+        content=content,
+        acquired_by="officer",
+        acquired_at=1.0,
+        action=action,
+        process_held=held,
+    )
+
+
+@pytest.fixture()
+def analyzer():
+    return AdmissibilityAnalyzer()
+
+
+class TestLegality:
+    def test_lawful_acquisition_admitted(self, analyzer):
+        item = make_item(warrant_action(), ProcessKind.SEARCH_WARRANT)
+        finding = analyzer.analyze([item])[item.evidence_id]
+        assert finding.outcome is Admissibility.ADMISSIBLE
+
+    def test_insufficient_process_suppressed(self, analyzer):
+        item = make_item(warrant_action(), ProcessKind.SUBPOENA)
+        finding = analyzer.analyze([item])[item.evidence_id]
+        assert finding.outcome is Admissibility.SUPPRESSED
+        assert "search warrant" in finding.reason
+
+    def test_stronger_process_than_needed_is_fine(self, analyzer):
+        item = make_item(warrant_action(), ProcessKind.WIRETAP_ORDER)
+        finding = analyzer.analyze([item])[item.evidence_id]
+        assert finding.outcome is Admissibility.ADMISSIBLE
+
+    def test_no_process_needed_no_process_held(self, analyzer):
+        item = make_item(free_action(), ProcessKind.NONE)
+        finding = analyzer.analyze([item])[item.evidence_id]
+        assert finding.outcome is Admissibility.ADMISSIBLE
+
+
+class TestFruitOfThePoisonousTree:
+    def test_derivative_of_suppressed_is_tainted(self, analyzer):
+        parent = make_item(warrant_action(), ProcessKind.NONE)
+        child = derive(
+            parent,
+            description="analysis of illegal seizure",
+            content="derived",
+            action=free_action(),
+            process_held=ProcessKind.NONE,
+        )
+        findings = analyzer.analyze([parent, child])
+        assert (
+            findings[parent.evidence_id].outcome
+            is Admissibility.SUPPRESSED
+        )
+        assert (
+            findings[child.evidence_id].outcome
+            is Admissibility.SUPPRESSED_DERIVATIVE
+        )
+        assert "fruit" in findings[child.evidence_id].reason
+
+    def test_taint_propagates_transitively(self, analyzer):
+        parent = make_item(warrant_action(), ProcessKind.NONE)
+        child = derive(parent, "level 1", "x", free_action())
+        grandchild = derive(child, "level 2", "y", free_action())
+        findings = analyzer.analyze([parent, child, grandchild])
+        assert (
+            findings[grandchild.evidence_id].outcome
+            is Admissibility.SUPPRESSED_DERIVATIVE
+        )
+
+    def test_derivative_of_admitted_is_clean(self, analyzer):
+        parent = make_item(warrant_action(), ProcessKind.SEARCH_WARRANT)
+        child = derive(parent, "analysis", "x", free_action())
+        findings = analyzer.analyze([parent, child])
+        assert (
+            findings[child.evidence_id].outcome is Admissibility.ADMISSIBLE
+        )
+
+
+class TestIntegrity:
+    def test_broken_custody_suppressed(self, analyzer):
+        item = make_item(free_action(), ProcessKind.NONE)
+        chain = ChainOfCustody(item, custodian="officer", time=1.0)
+        item.content = "tampered"
+        chain.transfer("locker", time=2.0)
+        findings = analyzer.analyze(
+            [item], custody={item.evidence_id: chain}
+        )
+        assert findings[item.evidence_id].outcome is Admissibility.SUPPRESSED
+        assert "custody" in findings[item.evidence_id].reason
+
+    def test_tampered_content_without_chain_suppressed(self, analyzer):
+        item = make_item(free_action(), ProcessKind.NONE)
+        item.content = "tampered"
+        findings = analyzer.analyze([item])
+        assert findings[item.evidence_id].outcome is Admissibility.SUPPRESSED
+
+    def test_intact_chain_admitted(self, analyzer):
+        item = make_item(free_action(), ProcessKind.NONE)
+        chain = ChainOfCustody(item, custodian="officer", time=1.0)
+        chain.transfer("locker", time=2.0)
+        findings = analyzer.analyze(
+            [item], custody={item.evidence_id: chain}
+        )
+        assert findings[item.evidence_id].outcome is Admissibility.ADMISSIBLE

@@ -1,0 +1,78 @@
+"""Unit tests for the chain of custody."""
+
+import pytest
+
+from repro.core import (
+    Actor,
+    DataKind,
+    EnvironmentContext,
+    InvestigativeAction,
+    Place,
+    Timing,
+)
+from repro.evidence.custody import BrokenChainError, ChainOfCustody
+from repro.evidence.items import EvidenceItem
+
+
+def make_item():
+    return EvidenceItem(
+        description="drive image",
+        content="raw image bytes",
+        acquired_by="det. k",
+        acquired_at=1.0,
+        action=InvestigativeAction(
+            description="image drive",
+            actor=Actor.GOVERNMENT,
+            data_kind=DataKind.CONTENT,
+            timing=Timing.STORED,
+            context=EnvironmentContext(place=Place.GOVERNMENT_CUSTODY),
+        ),
+    )
+
+
+class TestChain:
+    def test_collection_entry_created(self):
+        chain = ChainOfCustody(make_item(), custodian="det. k", time=1.0)
+        assert len(chain.entries) == 1
+        assert chain.entries[0].event == "collected"
+        assert chain.current_custodian == "det. k"
+
+    def test_transfer(self):
+        chain = ChainOfCustody(make_item(), custodian="det. k", time=1.0)
+        chain.transfer("lab", time=2.0)
+        assert chain.current_custodian == "lab"
+        assert "transferred from det. k" in chain.entries[-1].event
+
+    def test_record_event_keeps_custodian(self):
+        chain = ChainOfCustody(make_item(), custodian="det. k", time=1.0)
+        chain.record_event("verified image hash", time=2.0)
+        assert chain.current_custodian == "det. k"
+        assert len(chain.entries) == 2
+
+    def test_backwards_time_rejected(self):
+        chain = ChainOfCustody(make_item(), custodian="det. k", time=5.0)
+        with pytest.raises(BrokenChainError):
+            chain.transfer("lab", time=4.0)
+        with pytest.raises(BrokenChainError):
+            chain.record_event("x", time=1.0)
+
+
+class TestIntegrity:
+    def test_untouched_chain_intact(self):
+        chain = ChainOfCustody(make_item(), custodian="det. k", time=1.0)
+        chain.transfer("lab", time=2.0)
+        chain.transfer("court", time=3.0)
+        assert chain.intact()
+
+    def test_tamper_between_transfers_detected(self):
+        item = make_item()
+        chain = ChainOfCustody(item, custodian="det. k", time=1.0)
+        item.content = "altered image bytes"
+        chain.transfer("lab", time=2.0)  # hash recorded post-tamper
+        assert not chain.intact()
+
+    def test_tamper_after_final_entry_detected(self):
+        item = make_item()
+        chain = ChainOfCustody(item, custodian="det. k", time=1.0)
+        item.content = "altered late"
+        assert not chain.intact()

@@ -1,0 +1,91 @@
+"""Unit tests for evidence items and derivation."""
+
+from repro.core import (
+    Actor,
+    DataKind,
+    EnvironmentContext,
+    InvestigativeAction,
+    Place,
+    ProcessKind,
+    Timing,
+)
+from repro.evidence.items import EvidenceItem, derive
+from repro.storage.hashing import sha256_hex
+
+
+def make_action():
+    return InvestigativeAction(
+        description="seize records",
+        actor=Actor.GOVERNMENT,
+        data_kind=DataKind.CONTENT,
+        timing=Timing.STORED,
+        context=EnvironmentContext(place=Place.GOVERNMENT_CUSTODY),
+    )
+
+
+def make_item(content="the data"):
+    return EvidenceItem(
+        description="records",
+        content=content,
+        acquired_by="det. k",
+        acquired_at=5.0,
+        action=make_action(),
+        process_held=ProcessKind.SEARCH_WARRANT,
+    )
+
+
+class TestEvidenceItem:
+    def test_hash_computed_at_creation(self):
+        item = make_item("payload")
+        assert item.content_hash == sha256_hex("payload")
+
+    def test_integrity_check_passes_unchanged(self):
+        assert make_item().verify_integrity()
+
+    def test_integrity_check_fails_on_tamper(self):
+        item = make_item()
+        item.content = "edited after the fact"
+        assert not item.verify_integrity()
+
+    def test_ids_unique(self):
+        assert make_item().evidence_id != make_item().evidence_id
+
+    def test_explicit_hash_respected(self):
+        item = EvidenceItem(
+            description="d",
+            content="x",
+            acquired_by="a",
+            acquired_at=0.0,
+            action=make_action(),
+            content_hash="deadbeef",
+        )
+        assert item.content_hash == "deadbeef"
+        assert not item.verify_integrity()
+
+
+class TestDerivation:
+    def test_derive_links_parent(self):
+        parent = make_item()
+        child = derive(
+            parent,
+            description="analysis",
+            content="derived analysis",
+            action=make_action(),
+        )
+        assert child.derived_from == (parent.evidence_id,)
+        assert child.acquired_by == parent.acquired_by
+        assert child.acquired_at == parent.acquired_at
+        assert child.process_held is parent.process_held
+
+    def test_derive_overrides(self):
+        parent = make_item()
+        child = derive(
+            parent,
+            description="later analysis",
+            content="x",
+            action=make_action(),
+            process_held=ProcessKind.NONE,
+            acquired_at=9.0,
+        )
+        assert child.process_held is ProcessKind.NONE
+        assert child.acquired_at == 9.0

@@ -1,0 +1,119 @@
+"""Integration: the paper's Section IV conclusions, end to end."""
+
+import random
+
+import pytest
+
+from repro.anonymity import OnionNetwork, P2POverlay
+from repro.core import Feasibility, ProcessKind
+from repro.netsim import Simulator
+from repro.techniques import (
+    DsssWatermarkTechnique,
+    OneSwarmTimingAttack,
+    PnCode,
+    PoissonFlow,
+    WatermarkConfig,
+)
+
+
+class TestSectionIvA:
+    """IV.A: workable method *without* warrant/court order/subpoena."""
+
+    def test_classification_matches_paper(self):
+        assessment = OneSwarmTimingAttack().assess()
+        assert (
+            assessment.feasibility is Feasibility.WORKABLE_WITHOUT_PROCESS
+        )
+
+    def test_attack_actually_works(self):
+        overlay = P2POverlay(seed=99)
+        overlay.random_topology(
+            120, mean_degree=4.0, source_fraction=0.15, file_id="cp"
+        )
+        overlay.add_peer("le")
+        rng = random.Random(5)
+        for name in rng.sample(
+            [p for p in overlay.peers if p != "le"], 10
+        ):
+            overlay.befriend("le", name)
+        attack = OneSwarmTimingAttack()
+        result = attack.investigate(overlay, "le", "cp", trials=10)
+        metrics = attack.score(result, overlay)
+        assert metrics.precision == 1.0
+        assert metrics.recall == 1.0
+
+
+class TestSectionIvB:
+    """IV.B: workable method *with* a court order (not a wiretap order)."""
+
+    def test_classification_matches_paper(self):
+        assessment = DsssWatermarkTechnique().assess()
+        assert assessment.feasibility is Feasibility.WORKABLE_WITH_PROCESS
+        assert assessment.required_process is ProcessKind.COURT_ORDER
+
+    def test_private_search_route_exists(self):
+        # Situation two: campus administrators on their own gateways.
+        assert DsssWatermarkTechnique().assess().private_search_viable
+
+    def test_watermark_traces_through_tor_and_anonymizer(self):
+        from repro.anonymity import AnonymizerProxy
+
+        code = PnCode.msequence(7)
+        config = WatermarkConfig(
+            chip_duration=0.4, base_rate=25.0, amplitude=0.3
+        )
+        technique = DsssWatermarkTechnique(code, config)
+
+        # Through the onion network.
+        sim = Simulator()
+        onion = OnionNetwork(sim, n_relays=20, seed=6)
+        target = onion.build_circuit("suspect", "server")
+        decoy = onion.build_circuit("bystander", "server")
+        watermarker = technique.watermarker(seed=1)
+        watermarker.embed(target, start=0.5)
+        PoissonFlow(rate=25.0, seed=2).schedule(
+            decoy, start=0.5, duration=watermarker.duration
+        )
+        sim.run()
+        detector = technique.detector()
+        assert detector.detect(
+            target.client_arrival_times(), start=0.5
+        ).detected
+        assert not detector.detect(
+            decoy.client_arrival_times(), start=0.5
+        ).detected
+
+        # Through the single-hop proxy.
+        sim2 = Simulator()
+        proxy = AnonymizerProxy(sim2, seed=7)
+        session = proxy.open_session("suspect", "server")
+
+        class ProxyChannel:
+            def __init__(self):
+                self.sim = sim2
+
+            def send_downstream(self, size=512):
+                proxy.send_downstream(session, size)
+
+        watermarker2 = technique.watermarker(seed=3)
+        watermarker2.embed(ProxyChannel(), start=0.5)
+        sim2.run()
+        arrivals = [o.timestamp for o in session.client_side_log]
+        assert detector.detect(arrivals, start=0.5).detected
+
+
+class TestPaperRecommendation:
+    """The conclusion: prefer techniques needing no process."""
+
+    @pytest.mark.parametrize(
+        "technique_factory,needs_process",
+        [
+            (lambda: OneSwarmTimingAttack(), False),
+            (lambda: DsssWatermarkTechnique(), True),
+        ],
+    )
+    def test_advisor_orders_preferences(self, technique_factory, needs_process):
+        assessment = technique_factory().assess()
+        assert (
+            assessment.required_process is not ProcessKind.NONE
+        ) == needs_process

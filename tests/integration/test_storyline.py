@@ -1,0 +1,129 @@
+"""Integration: the section III.A.1(a) storyline, by the book and not.
+
+Victim reports attacking IP -> subpoena identifies the subscriber ->
+probable cause -> warrant -> imaging -> hash search -> suppression
+hearing.  Then the same storyline with the warrant skipped (the Crist
+error) to check the taint cascade.
+"""
+
+import pytest
+
+from repro.core import (
+    Actor,
+    Admissibility,
+    DataKind,
+    EnvironmentContext,
+    InvestigativeAction,
+    Place,
+    ProcessKind,
+    Timing,
+)
+from repro.court import SuppressionHearing
+from repro.evidence import ChainOfCustody, derive
+from repro.investigation import Case, Investigator, ip_address_fact
+from repro.storage import (
+    BlockDevice,
+    KnownFileSet,
+    SimpleFilesystem,
+    image_device,
+)
+from repro.techniques import HashSearchTechnique
+
+
+def subpoena_action():
+    return InvestigativeAction(
+        description="compel subscriber identity from ISP",
+        actor=Actor.GOVERNMENT,
+        data_kind=DataKind.SUBSCRIBER_INFO,
+        timing=Timing.STORED,
+        context=EnvironmentContext(place=Place.THIRD_PARTY_PROVIDER),
+    )
+
+
+def build_drive():
+    fs = SimpleFilesystem(BlockDevice(n_blocks=128, block_size=64))
+    fs.write_file("innocent.txt", "notes")
+    fs.write_file("cp-1.jpg", "contraband-alpha")
+    fs.write_file("cp-2.jpg", "contraband-beta")
+    fs.delete_file("cp-2.jpg")
+    known = KnownFileSet.from_contents(
+        ["contraband-alpha", "contraband-beta"]
+    )
+    return fs, known
+
+
+def run_storyline(comply: bool):
+    officer = Investigator("det. r")
+    case = Case("op-x")
+    case.add_fact(ip_address_fact("10.0.3.77", "intrusion"))
+
+    assert officer.apply_for(ProcessKind.SUBPOENA, case, time=1.0).granted
+    identity = officer.act(
+        subpoena_action(), time=2.0, content="subscriber: R. Mallory"
+    )
+
+    if comply:
+        decision = officer.apply_for(
+            ProcessKind.SEARCH_WARRANT,
+            case,
+            time=3.0,
+            target_place="Mallory residence",
+            target_items=("computers",),
+        )
+        assert decision.granted
+
+    fs, known = build_drive()
+    image = image_device(fs.device)
+    assert image.sha256() == fs.device.sha256()
+
+    technique = HashSearchTechnique(known)
+    report = technique.run(fs)
+    hits = officer.act(
+        technique.required_actions()[0],
+        time=4.0,
+        content="; ".join(h.file_name for h in report.hits),
+        comply=False,
+        derived_from=(identity.evidence_id,),
+    )
+    analysis = derive(
+        hits, "forensic analysis", "timeline and EXIF", hits.action
+    )
+    officer.evidence.append(analysis)
+
+    chain = ChainOfCustody(hits, custodian=officer.name, time=4.0)
+    chain.transfer("locker", time=5.0)
+    outcome = SuppressionHearing().hear(
+        officer.evidence, custody={hits.evidence_id: chain}
+    )
+    return officer, report, outcome, identity, hits, analysis
+
+
+class TestByTheBook:
+    def test_everything_admitted(self):
+        officer, report, outcome, *_ = run_storyline(comply=True)
+        assert report.hit_count == 2
+        assert outcome.suppression_rate == 0.0
+        assert not officer.violations
+
+    def test_deleted_contraband_recovered(self):
+        __, report, *_ = run_storyline(comply=True)
+        assert any(h.recovered_deleted for h in report.hits)
+
+
+class TestCuttingCorners:
+    def test_hits_suppressed_and_fruit_tainted(self):
+        __, __, outcome, identity, hits, analysis = run_storyline(
+            comply=False
+        )
+        assert (
+            outcome.outcome_for(identity) is Admissibility.ADMISSIBLE
+        )
+        assert outcome.outcome_for(hits) is Admissibility.SUPPRESSED
+        assert (
+            outcome.outcome_for(analysis)
+            is Admissibility.SUPPRESSED_DERIVATIVE
+        )
+
+    def test_suppression_rate(self):
+        __, __, outcome, *_ = run_storyline(comply=False)
+        assert outcome.suppression_rate == pytest.approx(2 / 3)

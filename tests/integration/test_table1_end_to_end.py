@@ -1,0 +1,37 @@
+"""Integration: the Table 1 reproduction as a whole."""
+
+from repro.core import build_table1
+from repro.investigation import format_table1
+
+
+def test_twenty_out_of_twenty(engine):
+    """The headline result: full agreement with the paper's table."""
+    mismatches = []
+    for scenario in build_table1():
+        ruling = engine.evaluate(scenario.action)
+        if ruling.needs_process != scenario.paper_needs_process:
+            mismatches.append(scenario.number)
+    assert mismatches == []
+
+
+def test_every_ruling_is_explainable(engine):
+    """Every scene yields a non-trivial citation-bearing trace."""
+    for scenario in build_table1():
+        ruling = engine.evaluate(scenario.action)
+        assert ruling.steps, f"scene {scenario.number} has no reasoning"
+        cited = {key for step in ruling.steps for key in step.authorities}
+        assert cited, f"scene {scenario.number} cites nothing"
+
+
+def test_formatted_table_matches(engine):
+    assert "agreement: 20/20" in format_table1(build_table1(), engine)
+
+
+def test_scenes_needing_process_have_an_imposing_source(engine):
+    for scenario in build_table1():
+        ruling = engine.evaluate(scenario.action)
+        if ruling.needs_process:
+            assert ruling.requirements, (
+                f"scene {scenario.number} needs process but no source "
+                f"imposed it"
+            )

@@ -1,0 +1,171 @@
+"""Unit tests for the III.A.2 attribution/intent analysis."""
+
+import pytest
+
+from repro.core import Standard
+from repro.investigation.attribution import (
+    AttributionAnalyzer,
+    BrowsingRecord,
+    LoginRecord,
+    MachineProfile,
+    MalwareScanResult,
+    UserAccount,
+)
+
+
+def make_profile(
+    logins=None,
+    browsing=None,
+    clean=True,
+    password_protected=True,
+):
+    return MachineProfile(
+        accounts=(
+            UserAccount("suspect", password_protected=password_protected),
+            UserAccount("roommate", password_protected=False),
+        ),
+        logins=tuple(
+            logins
+            if logins is not None
+            else [LoginRecord("suspect", 0.0, 100.0)]
+        ),
+        browsing=tuple(browsing or ()),
+        malware_scan=MalwareScanResult(
+            clean=clean,
+            findings=() if clean else ("trojan.dropper",),
+        ),
+    )
+
+
+@pytest.fixture()
+def analyzer():
+    return AttributionAnalyzer(crime_keywords=["methamphetamine", "lab"])
+
+
+class TestAttributionProng:
+    def test_single_logged_in_user_attributed(self, analyzer):
+        report = analyzer.analyze(make_profile(), artifact_created_at=50.0)
+        assert report.attributed_user == "suspect"
+        assert report.exclusive_attribution
+
+    def test_no_active_session_no_attribution(self, analyzer):
+        report = analyzer.analyze(
+            make_profile(logins=[LoginRecord("suspect", 0.0, 10.0)]),
+            artifact_created_at=50.0,
+        )
+        assert report.attributed_user is None
+        assert report.supports is Standard.NOTHING
+
+    def test_two_concurrent_users_defeat_attribution(self, analyzer):
+        report = analyzer.analyze(
+            make_profile(
+                logins=[
+                    LoginRecord("suspect", 0.0, 100.0),
+                    LoginRecord("roommate", 0.0, 100.0),
+                ]
+            ),
+            artifact_created_at=50.0,
+        )
+        assert report.attributed_user is None
+
+    def test_unprotected_account_is_not_exclusive(self, analyzer):
+        report = analyzer.analyze(
+            make_profile(password_protected=False),
+            artifact_created_at=50.0,
+        )
+        assert report.attributed_user == "suspect"
+        assert not report.exclusive_attribution
+
+
+class TestMalwareProng:
+    def test_clean_scan_rules_out_malware(self, analyzer):
+        report = analyzer.analyze(make_profile(), artifact_created_at=50.0)
+        assert report.malware_ruled_out
+
+    def test_infected_machine_does_not(self, analyzer):
+        report = analyzer.analyze(
+            make_profile(clean=False), artifact_created_at=50.0
+        )
+        assert not report.malware_ruled_out
+
+
+class TestKnowledgeProng:
+    def test_subject_research_shows_knowledge(self, analyzer):
+        report = analyzer.analyze(
+            make_profile(
+                browsing=[
+                    BrowsingRecord(
+                        "suspect", 1.0, "how to build a methamphetamine lab"
+                    ),
+                    BrowsingRecord("suspect", 2.0, "cat videos"),
+                ]
+            ),
+            artifact_created_at=50.0,
+        )
+        assert report.knowledge_shown
+        assert len(report.knowledge_entries) == 1
+
+    def test_other_users_history_does_not_count(self, analyzer):
+        report = analyzer.analyze(
+            make_profile(
+                browsing=[
+                    BrowsingRecord(
+                        "roommate", 1.0, "methamphetamine wiki"
+                    ),
+                ]
+            ),
+            artifact_created_at=50.0,
+        )
+        assert not report.knowledge_shown
+
+
+class TestGrading:
+    def test_all_three_prongs_is_probable_cause(self, analyzer):
+        report = analyzer.analyze(
+            make_profile(
+                browsing=[
+                    BrowsingRecord("suspect", 1.0, "methamphetamine lab"),
+                ]
+            ),
+            artifact_created_at=50.0,
+        )
+        assert report.supports is Standard.PROBABLE_CAUSE
+
+    def test_partial_prongs_are_articulable_facts(self, analyzer):
+        report = analyzer.analyze(
+            make_profile(clean=False), artifact_created_at=50.0
+        )
+        # attribution + exclusivity, but no malware clearance or knowledge
+        assert report.supports is Standard.SPECIFIC_AND_ARTICULABLE_FACTS
+
+    def test_bare_attribution_is_suspicion(self, analyzer):
+        report = analyzer.analyze(
+            make_profile(clean=False, password_protected=False),
+            artifact_created_at=50.0,
+        )
+        assert report.supports is Standard.MERE_SUSPICION
+
+    def test_to_fact_round_trip(self, analyzer):
+        report = analyzer.analyze(
+            make_profile(
+                browsing=[BrowsingRecord("suspect", 1.0, "lab supplies")]
+            ),
+            artifact_created_at=50.0,
+        )
+        fact = report.to_fact("contraband file", observed_at=60.0)
+        assert fact.supports is report.supports
+        assert "suspect" in fact.description
+        assert fact.observed_at == 60.0
+
+    def test_unattributed_fact_description(self, analyzer):
+        report = analyzer.analyze(
+            make_profile(logins=[]), artifact_created_at=50.0
+        )
+        fact = report.to_fact("contraband file")
+        assert "could not attribute" in fact.description
+
+
+class TestValidation:
+    def test_empty_keywords_rejected(self):
+        with pytest.raises(ValueError):
+            AttributionAnalyzer(crime_keywords=[])

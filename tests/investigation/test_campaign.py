@@ -1,0 +1,64 @@
+"""Unit tests for the campaign simulator."""
+
+import pytest
+
+from repro.investigation.campaign import (
+    CampaignConfig,
+    compliance_curve,
+    run_campaign,
+)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(n_cases=0)
+        with pytest.raises(ValueError):
+            CampaignConfig(comply_probability=1.5)
+
+
+class TestCampaign:
+    def test_full_compliance_always_succeeds(self):
+        result = run_campaign(
+            CampaignConfig(n_cases=60, comply_probability=1.0, seed=1)
+        )
+        assert result.success_rate == 1.0
+        assert result.suppressed == 0
+
+    def test_zero_compliance_fails_exactly_the_process_scenes(self):
+        result = run_campaign(
+            CampaignConfig(n_cases=60, comply_probability=0.0, seed=2)
+        )
+        # Scenes needing no process still succeed; the rest all fail.
+        assert result.success_rate_for(needs_process=False) == 1.0
+        assert result.success_rate_for(needs_process=True) == 0.0
+        assert 0.0 < result.success_rate < 1.0
+
+    def test_determinism(self):
+        config = CampaignConfig(n_cases=40, comply_probability=0.5, seed=3)
+        assert (
+            run_campaign(config).success_rate
+            == run_campaign(config).success_rate
+        )
+
+    def test_counts_consistent(self):
+        result = run_campaign(
+            CampaignConfig(n_cases=30, comply_probability=0.5, seed=4)
+        )
+        assert result.successes + result.suppressed == 30
+        assert len(result.outcomes) == 30
+
+
+class TestComplianceCurve:
+    def test_curve_is_monotone(self):
+        curve = compliance_curve(
+            [0.0, 0.5, 1.0], n_cases=80, seed=5
+        )
+        assert curve[0.0] <= curve[0.5] <= curve[1.0]
+        assert curve[1.0] == 1.0
+
+    def test_zero_compliance_matches_scene_mix(self):
+        # Table 1 is a 10/10 split, so zero compliance converges toward
+        # a 50% success rate.
+        curve = compliance_curve([0.0], n_cases=400, seed=6)
+        assert 0.35 <= curve[0.0] <= 0.65

@@ -1,0 +1,77 @@
+"""Unit tests for cases and the probable-cause fact helpers."""
+
+from repro.core import ProcessKind, Standard
+from repro.investigation.case import (
+    Case,
+    articulable_facts,
+    ip_address_fact,
+    membership_fact,
+    membership_with_intent_fact,
+    suspicion_fact,
+)
+
+
+class TestCase:
+    def test_empty_case_shows_nothing(self):
+        assert Case("c").showing() is Standard.NOTHING
+
+    def test_showing_is_max(self):
+        case = Case("c")
+        case.add_fact(suspicion_fact("a hunch"))
+        case.add_fact(articulable_facts("specific logs"))
+        assert case.showing() is Standard.SPECIFIC_AND_ARTICULABLE_FACTS
+
+    def test_can_apply_for(self):
+        case = Case("c")
+        case.add_fact(suspicion_fact("a hunch"))
+        assert case.can_apply_for(ProcessKind.SUBPOENA)
+        assert not case.can_apply_for(ProcessKind.SEARCH_WARRANT)
+
+    def test_suspects(self):
+        case = Case("c")
+        case.add_suspect("mallory")
+        case.add_suspect("mallory")
+        assert case.suspects == ["mallory"]
+
+    def test_to_application_packages_facts(self):
+        case = Case("c")
+        case.add_fact(ip_address_fact("1.2.3.4", "fraud"))
+        application = case.to_application(
+            kind=ProcessKind.SEARCH_WARRANT,
+            applicant="officer",
+            applied_at=5.0,
+            target_place="home",
+            target_items=("pc",),
+        )
+        assert application.showing() is Standard.PROBABLE_CAUSE
+        assert application.applied_at == 5.0
+        assert application.is_particular()
+
+
+class TestFactHelpers:
+    """The paper's probable-cause scenarios, section III.A.1."""
+
+    def test_ip_address_supports_probable_cause(self):
+        fact = ip_address_fact("10.1.2.3", "child pornography trafficking")
+        assert fact.supports is Standard.PROBABLE_CAUSE
+        assert "10.1.2.3" in fact.description
+
+    def test_membership_alone_is_only_suspicion(self):
+        # Coreas: membership alone does not establish probable cause.
+        fact = membership_fact("user9", "an illicit site")
+        assert fact.supports is Standard.MERE_SUSPICION
+
+    def test_membership_with_intent_is_probable_cause(self):
+        # Gourde plus the paper's intent observation.
+        fact = membership_with_intent_fact(
+            "user9", "an illicit site", "paid for a renewing subscription"
+        )
+        assert fact.supports is Standard.PROBABLE_CAUSE
+
+    def test_articulable_facts_support_court_order(self):
+        fact = articulable_facts("server logs tie the account to the event")
+        assert fact.supports is Standard.SPECIFIC_AND_ARTICULABLE_FACTS
+
+    def test_observed_at_carried(self):
+        fact = suspicion_fact("old tip", observed_at=123.0)
+        assert fact.observed_at == 123.0

@@ -1,0 +1,164 @@
+"""Unit tests for the process-bound investigator."""
+
+import pytest
+
+from repro.core import (
+    Actor,
+    DataKind,
+    EnvironmentContext,
+    InvestigativeAction,
+    Place,
+    ProcessKind,
+    Timing,
+)
+from repro.core.errors import InsufficientProcess, StalenessError
+from repro.court.docket import IssuedProcess
+from repro.investigation.case import Case, ip_address_fact, suspicion_fact
+from repro.investigation.investigator import Investigator
+
+
+def warrant_action():
+    return InvestigativeAction(
+        description="search the suspect's computer",
+        actor=Actor.GOVERNMENT,
+        data_kind=DataKind.CONTENT,
+        timing=Timing.STORED,
+        context=EnvironmentContext(place=Place.SUSPECT_PREMISES),
+    )
+
+
+def free_action():
+    return InvestigativeAction(
+        description="browse a public site",
+        actor=Actor.GOVERNMENT,
+        data_kind=DataKind.CONTENT,
+        timing=Timing.STORED,
+        context=EnvironmentContext(place=Place.PUBLIC, knowingly_exposed=True),
+    )
+
+
+@pytest.fixture()
+def officer():
+    return Investigator("det. t")
+
+
+class TestProcessManagement:
+    def test_starts_with_nothing(self, officer):
+        assert officer.current_process(0.0) is ProcessKind.NONE
+
+    def test_apply_with_probable_cause(self, officer):
+        case = Case("c")
+        case.add_fact(ip_address_fact("1.2.3.4", "fraud"))
+        decision = officer.apply_for(
+            ProcessKind.SEARCH_WARRANT,
+            case,
+            time=1.0,
+            target_place="home",
+            target_items=("pc",),
+        )
+        assert decision.granted
+        assert (
+            officer.current_process(2.0) is ProcessKind.SEARCH_WARRANT
+        )
+
+    def test_apply_without_showing_denied(self, officer):
+        case = Case("c")
+        case.add_fact(suspicion_fact("just a hunch"))
+        decision = officer.apply_for(
+            ProcessKind.SEARCH_WARRANT,
+            case,
+            time=1.0,
+            target_place="home",
+            target_items=("pc",),
+        )
+        assert not decision.granted
+        assert officer.current_process(2.0) is ProcessKind.NONE
+
+    def test_expired_instrument_ignored(self, officer):
+        officer.instruments.append(
+            IssuedProcess(
+                kind=ProcessKind.SEARCH_WARRANT,
+                issued_to=officer.name,
+                issued_at=0.0,
+                expires_at=10.0,
+            )
+        )
+        assert officer.current_process(5.0) is ProcessKind.SEARCH_WARRANT
+        assert officer.current_process(11.0) is ProcessKind.NONE
+
+
+class TestActing:
+    def test_comply_mode_refuses_without_process(self, officer):
+        with pytest.raises(InsufficientProcess):
+            officer.act(warrant_action(), time=0.0, content="loot")
+        assert officer.evidence == []
+
+    def test_comply_mode_allows_free_actions(self, officer):
+        item = officer.act(free_action(), time=0.0, content="public page")
+        assert item.process_held is ProcessKind.NONE
+        assert officer.evidence == [item]
+        assert officer.violations == []
+
+    def test_force_mode_records_violation(self, officer):
+        item = officer.act(
+            warrant_action(), time=0.0, content="loot", comply=False
+        )
+        assert officer.evidence == [item]
+        assert len(officer.violations) == 1
+        assert "search warrant" in officer.violations[0]
+
+    def test_acting_with_process_is_clean(self, officer):
+        case = Case("c")
+        case.add_fact(ip_address_fact("1.2.3.4", "fraud"))
+        officer.apply_for(
+            ProcessKind.SEARCH_WARRANT,
+            case,
+            time=0.0,
+            target_place="home",
+            target_items=("pc",),
+        )
+        item = officer.act(warrant_action(), time=1.0, content="files")
+        assert item.process_held is ProcessKind.SEARCH_WARRANT
+        assert officer.violations == []
+
+    def test_derivation_links_recorded(self, officer):
+        parent = officer.act(free_action(), time=0.0, content="lead")
+        child = officer.act(
+            free_action(),
+            time=1.0,
+            content="follow-up",
+            derived_from=(parent.evidence_id,),
+        )
+        assert child.derived_from == (parent.evidence_id,)
+
+
+class TestReliance:
+    def test_rely_on_valid_instrument(self, officer):
+        instrument = IssuedProcess(
+            kind=ProcessKind.SUBPOENA,
+            issued_to=officer.name,
+            issued_at=0.0,
+            expires_at=10.0,
+        )
+        officer.rely_on(instrument, time=5.0)  # no raise
+
+    def test_rely_on_expired_instrument_raises(self, officer):
+        instrument = IssuedProcess(
+            kind=ProcessKind.SUBPOENA,
+            issued_to=officer.name,
+            issued_at=0.0,
+            expires_at=10.0,
+        )
+        with pytest.raises(StalenessError):
+            officer.rely_on(instrument, time=11.0)
+
+    def test_rely_on_revoked_instrument_raises(self, officer):
+        instrument = IssuedProcess(
+            kind=ProcessKind.SUBPOENA,
+            issued_to=officer.name,
+            issued_at=0.0,
+            expires_at=10.0,
+        )
+        instrument.revoke()
+        with pytest.raises(StalenessError):
+            officer.rely_on(instrument, time=5.0)

@@ -1,0 +1,71 @@
+"""Unit tests for the pipeline and the report formatters."""
+
+from repro.core import Admissibility, ProcessKind, build_table1
+from repro.investigation.pipeline import (
+    InvestigationPipeline,
+    suppression_split,
+)
+from repro.investigation.reporting import (
+    format_assessment,
+    format_suppression_outcomes,
+    format_table1,
+)
+from repro.techniques import OneSwarmTimingAttack
+
+
+class TestPipeline:
+    def test_warrantless_scene_needing_process_is_suppressed(self):
+        pipeline = InvestigationPipeline()
+        scene_8 = build_table1()[7]  # ISP full packets: wiretap order
+        outcome = pipeline.run_scene(scene_8, obtain_process=False)
+        assert outcome.suppressed
+        assert outcome.process_obtained is ProcessKind.NONE
+        assert outcome.admissibility is Admissibility.SUPPRESSED
+
+    def test_compliant_scene_is_admitted(self):
+        pipeline = InvestigationPipeline()
+        scene_8 = build_table1()[7]
+        outcome = pipeline.run_scene(scene_8, obtain_process=True)
+        assert not outcome.suppressed
+        assert outcome.process_obtained is ProcessKind.WIRETAP_ORDER
+
+    def test_no_process_scene_unaffected_either_way(self):
+        pipeline = InvestigationPipeline()
+        scene_9 = build_table1()[8]  # normal P2P: no process
+        for obtain in (False, True):
+            outcome = pipeline.run_scene(scene_9, obtain_process=obtain)
+            assert not outcome.suppressed
+            assert outcome.process_obtained is ProcessKind.NONE
+
+    def test_suppression_split_shape(self):
+        pipeline = InvestigationPipeline()
+        outcomes = pipeline.run_all(build_table1(), obtain_process=False)
+        need_rate, no_need_rate = suppression_split(outcomes)
+        assert need_rate == 1.0
+        assert no_need_rate == 0.0
+
+    def test_suppression_split_empty(self):
+        assert suppression_split([]) == (0.0, 0.0)
+
+
+class TestReporting:
+    def test_table1_format(self, engine):
+        text = format_table1(build_table1(), engine)
+        assert "agreement: 20/20" in text
+        assert text.count("\n") >= 22
+        assert "Paper" in text and "Engine" in text
+
+    def test_assessment_format(self):
+        assessment = OneSwarmTimingAttack().assess()
+        text = format_assessment(assessment)
+        assert "workable without process" in text
+        assert "Recommendation" in text
+
+    def test_suppression_outcomes_format(self):
+        pipeline = InvestigationPipeline()
+        outcomes = pipeline.run_all(
+            build_table1()[:3], obtain_process=False
+        )
+        text = format_suppression_outcomes(outcomes)
+        assert "Outcome" in text
+        assert text.count("\n") >= 4

@@ -1,0 +1,52 @@
+"""Integration tests for the codified storylines."""
+
+from repro.core import Admissibility
+from repro.investigation.storylines import (
+    ip_traceback_storyline,
+    watermark_situation_one,
+    watermark_situation_two,
+)
+
+
+class TestIpTraceback:
+    def test_by_the_book_succeeds(self):
+        report = ip_traceback_storyline(comply=True)
+        assert report.succeeded
+        assert report.suppression is not None
+        assert report.suppression.suppression_rate == 0.0
+        assert any("warrant issued" in step for step in report.steps)
+
+    def test_crist_error_fails(self):
+        report = ip_traceback_storyline(comply=False)
+        assert not report.succeeded
+        assert report.suppression.suppression_rate > 0.0
+        # The subpoenaed identity survives; the hash hits do not.
+        outcomes = [
+            report.suppression.findings[item.evidence_id].outcome
+            for item in report.evidence
+        ]
+        assert Admissibility.ADMISSIBLE in outcomes
+        assert Admissibility.SUPPRESSED in outcomes
+        assert Admissibility.SUPPRESSED_DERIVATIVE in outcomes
+
+
+class TestWatermarkSituationOne:
+    def test_court_ordered_traceback_succeeds(self):
+        report = watermark_situation_one()
+        assert report.succeeded
+        assert report.suppression is not None
+        assert report.suppression.suppression_rate == 0.0
+        assert any("court order issued" in step for step in report.steps)
+        assert any(
+            "identified subscriber(s): [0]" in step for step in report.steps
+        )
+
+
+class TestWatermarkSituationTwo:
+    def test_private_search_route_succeeds(self):
+        report = watermark_situation_two()
+        assert report.succeeded
+        assert any("private search" in step for step in report.steps)
+        assert any("granted" in step for step in report.steps)
+        # No government acquisition happened, so nothing went to court.
+        assert report.suppression is None

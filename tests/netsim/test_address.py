@@ -1,0 +1,95 @@
+"""Unit tests for addresses and allocators."""
+
+import pytest
+
+from repro.netsim.address import (
+    IpAddress,
+    IpAllocator,
+    MacAddress,
+    MacAllocator,
+)
+
+
+class TestMacAddress:
+    def test_renders_colon_separated(self):
+        assert str(MacAddress(0x02000000002A)) == "02:00:00:00:00:2a"
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            MacAddress(2**48)
+        with pytest.raises(ValueError):
+            MacAddress(-1)
+
+    def test_allocator_yields_unique(self):
+        allocator = MacAllocator()
+        macs = {allocator.allocate() for _ in range(100)}
+        assert len(macs) == 100
+
+
+class TestIpAddress:
+    def test_renders_dotted_quad(self):
+        assert str(IpAddress((10 << 24) | 1)) == "10.0.0.1"
+        assert str(IpAddress(0xFFFFFFFF)) == "255.255.255.255"
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            IpAddress(2**32)
+
+    def test_in_subnet(self):
+        net = IpAddress(192 << 24 | 168 << 16)
+        assert IpAddress(192 << 24 | 168 << 16 | 5).in_subnet(net, 24)
+        assert not IpAddress(10 << 24 | 5).in_subnet(net, 24)
+
+    def test_prefix_zero_matches_everything(self):
+        assert IpAddress(1).in_subnet(IpAddress(0xFFFFFF00), 0)
+
+    def test_bad_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            IpAddress(1).in_subnet(IpAddress(0), 33)
+
+    def test_ordering(self):
+        assert IpAddress(1) < IpAddress(2)
+
+
+class TestIpAllocator:
+    def test_allocates_from_subnet(self):
+        allocator = IpAllocator(IpAddress(10 << 24), prefix_len=24)
+        ip = allocator.allocate("alice", time=0.0)
+        assert ip.in_subnet(IpAddress(10 << 24), 24)
+
+    def test_lease_history(self):
+        allocator = IpAllocator(IpAddress(10 << 24), prefix_len=24)
+        ip = allocator.allocate("alice", time=1.0)
+        assert allocator.subscriber_for(ip, 5.0) == "alice"
+        allocator.release(ip, time=10.0)
+        assert allocator.subscriber_for(ip, 5.0) == "alice"
+        assert allocator.subscriber_for(ip, 10.0) is None
+
+    def test_subscriber_before_lease_is_unknown(self):
+        allocator = IpAllocator(IpAddress(10 << 24), prefix_len=24)
+        ip = allocator.allocate("alice", time=5.0)
+        assert allocator.subscriber_for(ip, 1.0) is None
+
+    def test_release_unknown_raises(self):
+        allocator = IpAllocator(IpAddress(10 << 24), prefix_len=24)
+        with pytest.raises(KeyError):
+            allocator.release(IpAddress(10 << 24 | 9), time=0.0)
+
+    def test_exhaustion(self):
+        allocator = IpAllocator(IpAddress(10 << 24), prefix_len=30)
+        allocator.allocate("a", 0.0)
+        allocator.allocate("b", 0.0)
+        with pytest.raises(RuntimeError, match="exhausted"):
+            allocator.allocate("c", 0.0)
+
+    def test_bad_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            IpAllocator(IpAddress(0), prefix_len=31)
+
+    def test_leases_view_is_immutable_copy(self):
+        allocator = IpAllocator(IpAddress(10 << 24), prefix_len=24)
+        allocator.allocate("alice", 0.0)
+        leases = allocator.leases
+        assert len(leases) == 1
+        assert leases[0].subscriber_id == "alice"
+        assert leases[0].active_at(100.0)

@@ -1,0 +1,185 @@
+"""Unit tests for the ISP node's SCA-gated disclosure machinery."""
+
+import pytest
+
+from repro.core import DataKind, ProcessKind
+from repro.core.errors import InsufficientProcess, LegalViolation
+from repro.netsim import (
+    FullInterceptTap,
+    Network,
+    PenRegisterTap,
+)
+from repro.netsim.isp import IspNode
+
+
+@pytest.fixture()
+def world():
+    net = Network(seed=11)
+    isp = IspNode("isp", net.sim, serves_public=True)
+    net.add_node(isp)
+    alice = net.add_host("alice")
+    bob = net.add_host("bob")
+    link_a = net.connect(alice, isp, latency=0.005)
+    net.connect(isp, bob, latency=0.005)
+    net.build_routes()
+    isp.register_subscriber("alice", "Alice A.", "1 First St")
+    return net, isp, alice, bob, link_a
+
+
+class TestSubscriberManagement:
+    def test_register_and_lease(self, world):
+        __, isp, *_ = world
+        ip = isp.lease_ip("alice")
+        assert isp.subscriber_for_ip(
+            ip, time=0.0, process_held=ProcessKind.SUBPOENA
+        ).name == "Alice A."
+
+    def test_duplicate_subscriber_rejected(self, world):
+        __, isp, *_ = world
+        with pytest.raises(ValueError):
+            isp.register_subscriber("alice", "x", "y")
+
+    def test_lease_for_unknown_subscriber_rejected(self, world):
+        __, isp, *_ = world
+        with pytest.raises(KeyError):
+            isp.lease_ip("mallory")
+
+    def test_subscriber_lookup_needs_at_least_subpoena(self, world):
+        __, isp, *_ = world
+        ip = isp.lease_ip("alice")
+        with pytest.raises(InsufficientProcess) as excinfo:
+            isp.subscriber_for_ip(ip, 0.0, ProcessKind.NONE)
+        assert excinfo.value.required is ProcessKind.SUBPOENA
+
+
+class TestCompelledDisclosure:
+    """The 2703 tier table, enforced."""
+
+    @pytest.mark.parametrize(
+        "data_kind,minimum",
+        [
+            (DataKind.SUBSCRIBER_INFO, ProcessKind.SUBPOENA),
+            (DataKind.TRANSACTIONAL_RECORD, ProcessKind.COURT_ORDER),
+            (DataKind.CONTENT, ProcessKind.SEARCH_WARRANT),
+        ],
+    )
+    def test_tier_enforced(self, world, data_kind, minimum):
+        __, isp, *_ = world
+        weaker = ProcessKind(minimum - 1)
+        with pytest.raises(InsufficientProcess):
+            isp.compelled_disclosure(data_kind, weaker)
+        isp.compelled_disclosure(data_kind, minimum)  # no raise
+
+    def test_stronger_process_always_works(self, world):
+        __, isp, *_ = world
+        records = isp.compelled_disclosure(
+            DataKind.SUBSCRIBER_INFO, ProcessKind.SEARCH_WARRANT
+        )
+        assert records and records[0].name == "Alice A."
+
+    def test_content_disclosure_returns_stored_items(self, world):
+        __, isp, *_ = world
+        isp.store_content("alice", "saved draft")
+        items = isp.compelled_disclosure(
+            DataKind.CONTENT, ProcessKind.SEARCH_WARRANT
+        )
+        assert [item.content for item in items] == ["saved draft"]
+
+    def test_physical_data_kind_rejected(self, world):
+        __, isp, *_ = world
+        with pytest.raises(LegalViolation):
+            isp.compelled_disclosure(
+                DataKind.PHYSICAL, ProcessKind.SEARCH_WARRANT
+            )
+
+
+class TestVoluntaryDisclosure:
+    """The 2702 rules, enforced."""
+
+    def test_public_provider_refuses_government(self, world):
+        __, isp, *_ = world
+        with pytest.raises(LegalViolation, match="2702"):
+            isp.voluntary_disclosure(
+                DataKind.SUBSCRIBER_INFO, to_government=True
+            )
+
+    def test_emergency_exception(self, world):
+        __, isp, *_ = world
+        records = isp.voluntary_disclosure(
+            DataKind.CONTENT, to_government=True, emergency=True
+        )
+        assert isinstance(records, list)
+
+    def test_non_content_to_private_party_allowed(self, world):
+        __, isp, *_ = world
+        isp.voluntary_disclosure(
+            DataKind.TRANSACTIONAL_RECORD, to_government=False
+        )
+
+    def test_nonpublic_provider_discloses_freely(self):
+        net = Network(seed=1)
+        private_isp = IspNode("corp-net", net.sim, serves_public=False)
+        private_isp.register_subscriber("emp1", "Employee", "HQ")
+        records = private_isp.voluntary_disclosure(
+            DataKind.CONTENT, to_government=True
+        )
+        assert isinstance(records, list)
+
+
+class TestRealTimeTaps:
+    def test_pen_tap_needs_court_order(self, world):
+        __, isp, __, __, link = world
+        with pytest.raises(InsufficientProcess):
+            isp.attach_tap(
+                link, PenRegisterTap("pen"), ProcessKind.SUBPOENA
+            )
+        isp.attach_tap(link, PenRegisterTap("pen"), ProcessKind.COURT_ORDER)
+
+    def test_full_tap_needs_wiretap_order(self, world):
+        __, isp, __, __, link = world
+        with pytest.raises(InsufficientProcess):
+            isp.attach_tap(
+                link, FullInterceptTap("full"), ProcessKind.SEARCH_WARRANT
+            )
+        isp.attach_tap(
+            link, FullInterceptTap("full"), ProcessKind.WIRETAP_ORDER
+        )
+
+    def test_provider_own_monitoring_needs_nothing(self, world):
+        __, isp, __, __, link = world
+        isp.attach_tap(
+            link,
+            FullInterceptTap("ops"),
+            ProcessKind.NONE,
+            provider_own_monitoring=True,
+        )
+        assert link.taps
+
+    def test_foreign_link_rejected(self, world):
+        net, isp, alice, bob, __ = world
+        foreign = net.connect(alice, bob, latency=0.5)
+        with pytest.raises(ValueError, match="does not touch"):
+            isp.attach_tap(
+                foreign, PenRegisterTap("pen"), ProcessKind.COURT_ORDER
+            )
+
+
+class TestTrafficLogging:
+    def test_transit_traffic_logged(self, world):
+        net, isp, alice, bob, __ = world
+        alice.send_to(bob, "through the isp")
+        net.sim.run()
+        assert isp.transaction_log_size == 1
+        assert bob.received
+
+    def test_authenticated_retrieval(self, world):
+        __, isp, *_ = world
+        isp.store_content("alice", "mail one")
+        isp.store_content("alice", "mail two")
+        items = isp.authenticated_retrieval("alice")
+        assert [i.content for i in items] == ["mail one", "mail two"]
+
+    def test_authenticated_retrieval_unknown_account(self, world):
+        __, isp, *_ = world
+        with pytest.raises(KeyError):
+            isp.authenticated_retrieval("mallory")

@@ -1,0 +1,179 @@
+"""Unit tests for links, nodes, routing, and the Network builder."""
+
+import pytest
+
+from repro.netsim import (
+    FullInterceptTap,
+    Network,
+    PenRegisterTap,
+)
+from repro.netsim.link import Link
+from repro.netsim.node import Host, Router
+
+
+@pytest.fixture()
+def small_net():
+    net = Network(seed=1)
+    alice = net.add_host("alice")
+    router = net.add_router("r1")
+    bob = net.add_host("bob")
+    net.connect(alice, router, latency=0.005)
+    net.connect(router, bob, latency=0.010)
+    net.build_routes()
+    return net, alice, router, bob
+
+
+class TestLink:
+    def test_latency_delays_delivery(self, small_net):
+        net, alice, router, bob = small_net
+        alice.send_to(bob, "ping")
+        net.sim.run()
+        assert bob.received
+        # one-way: 5ms + 10ms
+        assert net.sim.now == pytest.approx(0.015)
+
+    def test_negative_latency_rejected(self, small_net):
+        net, alice, router, __ = small_net
+        with pytest.raises(ValueError):
+            Link(net.sim, alice, router, latency=-1.0)
+
+    def test_other_end(self, small_net):
+        net, alice, router, bob = small_net
+        link = alice.links[0]
+        assert link.other_end(alice) is router
+        assert link.other_end(router) is alice
+        with pytest.raises(ValueError):
+            link.other_end(bob)
+
+    def test_bandwidth_serializes(self):
+        net = Network(seed=1)
+        a = net.add_host("a")
+        b = net.add_host("b")
+        net.connect(a, b, latency=0.0, bandwidth=1000.0)  # 1000 B/s
+        net.build_routes()
+        for __ in range(3):
+            a.send_to(b, "x" * 46)  # 100-byte packets -> 0.1 s each
+        net.sim.run()
+        assert len(b.received) == 3
+        assert net.sim.now == pytest.approx(0.3)
+
+    def test_jitter_bounded(self):
+        net = Network(seed=5)
+        a = net.add_host("a")
+        b = net.add_host("b")
+        net.connect(a, b, latency=0.01, jitter=0.5)
+        net.build_routes()
+        a.send_to(b, "ping")
+        net.sim.run()
+        assert 0.01 <= net.sim.now <= 0.015 + 1e-9
+
+    def test_taps_observe_at_transmission(self, small_net):
+        net, alice, router, bob = small_net
+        tap = FullInterceptTap("tap")
+        alice.links[0].attach_tap(tap)
+        alice.send_to(bob, "evidence")
+        net.sim.run()
+        assert tap.observed_count == 1
+        assert tap.captures[0].timestamp == 0.0
+
+    def test_detach_tap(self, small_net):
+        net, alice, __, bob = small_net
+        tap = PenRegisterTap("pen")
+        link = alice.links[0]
+        link.attach_tap(tap)
+        link.detach_tap(tap)
+        alice.send_to(bob, "quiet")
+        net.sim.run()
+        assert tap.observed_count == 0
+
+
+class TestRouting:
+    def test_multi_hop_delivery(self):
+        net = Network(seed=2)
+        hosts = [net.add_host(f"h{i}") for i in range(2)]
+        routers = [net.add_router(f"r{i}") for i in range(3)]
+        net.connect(hosts[0], routers[0])
+        net.connect(routers[0], routers[1])
+        net.connect(routers[1], routers[2])
+        net.connect(routers[2], hosts[1])
+        net.build_routes()
+        hosts[0].send_to(hosts[1], "far away")
+        net.sim.run()
+        assert hosts[1].received
+        assert all(r.forwarded_count == 1 for r in routers)
+
+    def test_shortest_path_preferred(self):
+        net = Network(seed=3)
+        a = net.add_host("a")
+        b = net.add_host("b")
+        fast = net.add_router("fast")
+        slow = net.add_router("slow")
+        net.connect(a, fast, latency=0.001)
+        net.connect(fast, b, latency=0.001)
+        net.connect(a, slow, latency=0.1)
+        net.connect(slow, b, latency=0.1)
+        net.build_routes()
+        a.send_to(b, "ping")
+        net.sim.run()
+        assert fast.forwarded_count == 1
+        assert slow.forwarded_count == 0
+
+    def test_no_route_raises(self):
+        net = Network(seed=4)
+        a = net.add_host("a")
+        b = net.add_host("b")  # never connected
+        net.build_routes()
+        with pytest.raises(RuntimeError, match="no route"):
+            a.send_to(b, "lost")
+
+    def test_host_ignores_foreign_packets(self, small_net):
+        net, alice, router, bob = small_net
+        packet = alice.send_to(bob, "for bob")
+        # Re-deliver the same packet to alice: wrong destination.
+        alice.receive(packet, alice.links[0])
+        net.sim.run()
+        assert packet not in alice.received
+
+
+class TestHostServices:
+    def test_service_reply_roundtrip(self, small_net):
+        net, alice, __, bob = small_net
+        bob.register_service(80, lambda host, pkt: "pong")
+        alice.send_to(bob, "ping", dst_port=80)
+        net.sim.run()
+        assert [p.payload for p in alice.received] == ["pong"]
+
+    def test_no_service_no_reply(self, small_net):
+        net, alice, __, bob = small_net
+        alice.send_to(bob, "ping", dst_port=9999)
+        net.sim.run()
+        assert alice.received == []
+
+    def test_handler_returning_none_sends_nothing(self, small_net):
+        net, alice, __, bob = small_net
+        bob.register_service(80, lambda host, pkt: None)
+        alice.send_to(bob, "ping", dst_port=80)
+        net.sim.run()
+        assert alice.received == []
+
+
+class TestNetworkBuilder:
+    def test_duplicate_names_rejected(self):
+        net = Network()
+        net.add_host("x")
+        with pytest.raises(ValueError, match="duplicate"):
+            net.add_host("x")
+        with pytest.raises(ValueError, match="duplicate"):
+            net.add_router("x")
+
+    def test_hosts_get_unique_addresses(self):
+        net = Network()
+        hosts = [net.add_host(f"h{i}") for i in range(10)]
+        assert len({h.ip for h in hosts}) == 10
+        assert len({h.mac for h in hosts}) == 10
+
+    def test_lease_history_records_hosts(self):
+        net = Network()
+        host = net.add_host("alice")
+        allocator = net.ip_allocator()
+        assert allocator.subscriber_for(host.ip, 0.0) == "alice"

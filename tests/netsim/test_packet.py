@@ -1,0 +1,114 @@
+"""Unit tests for the packet model and its legal views."""
+
+import dataclasses
+
+import pytest
+
+from repro.netsim.address import IpAddress, MacAddress
+from repro.netsim.packet import EncryptedBlob, Packet
+
+
+def make_packet(**kwargs):
+    defaults = dict(
+        src_mac=MacAddress(1),
+        dst_mac=MacAddress(2),
+        src_ip=IpAddress(10),
+        dst_ip=IpAddress(20),
+        src_port=1234,
+        dst_port=80,
+        payload="hello",
+    )
+    defaults.update(kwargs)
+    return Packet(**defaults)
+
+
+class TestValidation:
+    def test_bad_port_rejected(self):
+        with pytest.raises(ValueError):
+            make_packet(src_port=70000)
+        with pytest.raises(ValueError):
+            make_packet(dst_port=-1)
+
+    def test_bad_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            make_packet(protocol="icmp")
+
+    def test_packet_ids_unique(self):
+        assert make_packet().packet_id != make_packet().packet_id
+
+
+class TestContentView:
+    def test_plaintext_readable(self):
+        assert make_packet().payload_text() == "hello"
+
+    def test_encrypted_payload_unreadable_without_key(self):
+        packet = make_packet(
+            payload=EncryptedBlob(plaintext="secret", key_id="k1")
+        )
+        with pytest.raises(PermissionError):
+            packet.payload_text()
+
+    def test_encrypted_payload_readable_with_key(self):
+        packet = make_packet(
+            payload=EncryptedBlob(plaintext="secret", key_id="k1")
+        )
+        assert packet.payload_text("k1") == "secret"
+
+    def test_wrong_key_rejected(self):
+        packet = make_packet(
+            payload=EncryptedBlob(plaintext="secret", key_id="k1")
+        )
+        with pytest.raises(PermissionError):
+            packet.payload_text("k2")
+
+    def test_blob_repr_hides_plaintext(self):
+        blob = EncryptedBlob(plaintext="topsecret", key_id="k")
+        assert "topsecret" not in repr(blob)
+
+    def test_payload_encrypted_flag(self):
+        assert not make_packet().payload_encrypted
+        assert make_packet(
+            payload=EncryptedBlob(plaintext="x", key_id="k")
+        ).payload_encrypted
+
+
+class TestNonContentView:
+    def test_header_record_carries_addressing_and_size(self):
+        packet = make_packet()
+        record = packet.header_record(timestamp=3.5)
+        assert record.timestamp == 3.5
+        assert record.src_ip == packet.src_ip
+        assert record.dst_port == 80
+        assert record.size == packet.size
+        assert record.packet_id == packet.packet_id
+
+    def test_header_record_has_no_payload_field(self):
+        record = make_packet().header_record(0.0)
+        field_names = {f.name for f in dataclasses.fields(record)}
+        assert "payload" not in field_names
+        assert "hello" not in repr(record)
+
+    def test_size_includes_header_overhead(self):
+        assert make_packet(payload="").size == 54
+        assert make_packet(payload="abcd").size == 58
+
+    def test_encrypted_size_matches_plaintext_length(self):
+        packet = make_packet(
+            payload=EncryptedBlob(plaintext="abcd", key_id="k")
+        )
+        assert packet.size == 58
+
+
+class TestReplyTemplate:
+    def test_reply_swaps_endpoints(self):
+        packet = make_packet()
+        reply = packet.reply_template("pong")
+        assert reply.src_ip == packet.dst_ip
+        assert reply.dst_ip == packet.src_ip
+        assert reply.src_port == packet.dst_port
+        assert reply.dst_port == packet.src_port
+        assert reply.payload_text() == "pong"
+
+    def test_reply_keeps_flow_id(self):
+        packet = make_packet(flow_id="flow-7")
+        assert packet.reply_template().flow_id == "flow-7"

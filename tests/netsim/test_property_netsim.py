@@ -1,0 +1,95 @@
+"""Property-based tests for the network simulator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim import FullInterceptTap, Network, PenRegisterTap
+
+
+def build_random_tree(n_hosts: int, n_routers: int, seed: int) -> Network:
+    """A random router tree with hosts attached as leaves.
+
+    Hosts never forward transit traffic (by design), so they must be
+    leaves for universal reachability.
+    """
+    import random
+
+    net = Network(seed=seed)
+    rng = random.Random(seed)
+    routers = [net.add_router(f"r{index}") for index in range(n_routers)]
+    for index in range(1, len(routers)):
+        parent = routers[rng.randrange(index)]
+        net.connect(
+            parent, routers[index], latency=rng.uniform(0.001, 0.02)
+        )
+    for index in range(n_hosts):
+        host = net.add_host(f"h{index}")
+        net.connect(
+            rng.choice(routers), host, latency=rng.uniform(0.001, 0.02)
+        )
+    net.build_routes()
+    return net
+
+
+@given(
+    n_hosts=st.integers(min_value=2, max_value=8),
+    n_routers=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_all_host_pairs_can_communicate(n_hosts, n_routers, seed):
+    """On any connected router tree, every host pair exchanges packets."""
+    net = build_random_tree(n_hosts, n_routers, seed)
+    hosts = [n for n in net.nodes.values() if hasattr(n, "send_to")]
+    sender = hosts[0]
+    for receiver in hosts[1:]:
+        sender.send_to(receiver, f"to {receiver.name}")
+    net.sim.run()
+    for receiver in hosts[1:]:
+        assert any(
+            p.payload == f"to {receiver.name}" for p in receiver.received
+        )
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_taps_are_passive(seed):
+    """Attaching taps never changes what gets delivered."""
+    def run(with_taps: bool):
+        net = build_random_tree(3, 2, seed)
+        hosts = [n for n in net.nodes.values() if hasattr(n, "send_to")]
+        if with_taps:
+            for node in net.nodes.values():
+                for link in node.links:
+                    link.attach_tap(PenRegisterTap(f"p-{id(link)}"))
+                    link.attach_tap(FullInterceptTap(f"f-{id(link)}"))
+                break
+        hosts[0].send_to(hosts[1], "payload")
+        hosts[1].send_to(hosts[2], "payload2")
+        net.sim.run()
+        return [
+            sorted(p.payload for p in h.received) for h in hosts
+        ]
+
+    assert run(False) == run(True)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_pen_register_counts_match_traffic(seed):
+    """An untargeted pen register on the only link sees every packet once."""
+    net = Network(seed=seed)
+    a = net.add_host("a")
+    b = net.add_host("b")
+    link = net.connect(a, b, latency=0.001)
+    net.build_routes()
+    tap = PenRegisterTap("pen")
+    link.attach_tap(tap)
+    import random
+
+    n = random.Random(seed).randrange(1, 20)
+    for index in range(n):
+        a.send_to(b, f"m{index}")
+    net.sim.run()
+    assert tap.observed_count == n
+    assert len(b.received) == n

@@ -1,0 +1,123 @@
+"""Unit tests for application services (web, chat, files)."""
+
+import pytest
+
+from repro.netsim import ChatRoom, FileServer, Network, WebServer
+
+
+@pytest.fixture()
+def world():
+    net = Network(seed=21)
+    client = net.add_host("client")
+    server = net.add_host("server")
+    net.connect(client, server, latency=0.001)
+    net.build_routes()
+    return net, client, server
+
+
+def last_reply(net, client):
+    net.sim.run()
+    assert client.received, "no reply arrived"
+    return client.received[-1].payload_text()
+
+
+class TestWebServer:
+    def test_public_page_served(self, world):
+        net, client, server = world
+        web = WebServer(server, public=True)
+        web.publish("/index", "welcome")
+        client.send_to(server, "GET /index", dst_port=WebServer.PORT)
+        assert last_reply(net, client) == "200 welcome"
+
+    def test_missing_page_404(self, world):
+        net, client, server = world
+        WebServer(server, public=True)
+        client.send_to(server, "GET /nope", dst_port=WebServer.PORT)
+        assert last_reply(net, client) == "404 not found"
+
+    def test_members_only_rejects_anonymous(self, world):
+        net, client, server = world
+        web = WebServer(server, public=False)
+        web.publish("/secret", "hidden")
+        client.send_to(server, "GET /secret", dst_port=WebServer.PORT)
+        assert last_reply(net, client) == "403 members only"
+
+    def test_member_access(self, world):
+        net, client, server = world
+        web = WebServer(server, public=False)
+        web.publish("/secret", "hidden")
+        web.add_member("insider")
+        client.send_to(
+            server, "GET /secret AUTH insider", dst_port=WebServer.PORT
+        )
+        assert last_reply(net, client) == "200 hidden"
+
+    def test_malformed_request(self, world):
+        net, client, server = world
+        WebServer(server)
+        client.send_to(server, "FROB", dst_port=WebServer.PORT)
+        assert last_reply(net, client) == "400 bad request"
+
+    def test_access_log_records_requests(self, world):
+        net, client, server = world
+        web = WebServer(server)
+        web.publish("/a", "x")
+        client.send_to(server, "GET /a", dst_port=WebServer.PORT)
+        net.sim.run()
+        assert len(web.access_log) == 1
+        __, src_ip, path = web.access_log[0]
+        assert src_ip == str(client.ip)
+        assert path == "/a"
+
+
+class TestChatRoom:
+    def test_join_post_read(self, world):
+        net, client, server = world
+        room = ChatRoom(server)
+        client.send_to(server, "JOIN carol", dst_port=ChatRoom.PORT)
+        client.send_to(server, "POST carol hello all", dst_port=ChatRoom.PORT)
+        client.send_to(server, "READ", dst_port=ChatRoom.PORT)
+        net.sim.run()
+        replies = [p.payload_text() for p in client.received]
+        assert "joined #public" in replies
+        assert "ok" in replies
+        assert "carol: hello all" in replies
+        assert "carol" in room.participants
+
+    def test_messages_have_timestamps(self, world):
+        net, client, server = world
+        room = ChatRoom(server)
+        client.send_to(server, "POST dave hi", dst_port=ChatRoom.PORT)
+        net.sim.run()
+        assert room.messages[0].timestamp > 0
+        assert room.messages[0].sender == "dave"
+
+    def test_unknown_command(self, world):
+        net, client, server = world
+        ChatRoom(server)
+        client.send_to(server, "DANCE", dst_port=ChatRoom.PORT)
+        assert last_reply(net, client) == "unknown command"
+
+
+class TestFileServer:
+    def test_fetch(self, world):
+        net, client, server = world
+        files = FileServer(server)
+        files.put("report.txt", "quarterly numbers")
+        client.send_to(
+            server, "FETCH report.txt", dst_port=FileServer.PORT
+        )
+        assert last_reply(net, client) == "200 quarterly numbers"
+        assert files.fetch_count == 1
+
+    def test_fetch_missing(self, world):
+        net, client, server = world
+        FileServer(server)
+        client.send_to(server, "FETCH nothing", dst_port=FileServer.PORT)
+        assert last_reply(net, client) == "404 not found"
+
+    def test_bad_request(self, world):
+        net, client, server = world
+        FileServer(server)
+        client.send_to(server, "STEAL f", dst_port=FileServer.PORT)
+        assert last_reply(net, client) == "400 bad request"

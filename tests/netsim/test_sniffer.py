@@ -1,0 +1,132 @@
+"""Unit tests for capability-typed taps."""
+
+import pytest
+
+from repro.core import Actor, DataKind, EnvironmentContext, Place
+from repro.netsim.address import IpAddress, MacAddress
+from repro.netsim.packet import EncryptedBlob, Packet
+from repro.netsim.sniffer import (
+    FullInterceptTap,
+    PenRegisterTap,
+    TrapTraceTap,
+)
+
+SRC = IpAddress(100)
+DST = IpAddress(200)
+
+
+def make_packet(src=SRC, dst=DST, payload="data"):
+    return Packet(
+        src_mac=MacAddress(1),
+        dst_mac=MacAddress(2),
+        src_ip=src,
+        dst_ip=dst,
+        src_port=1,
+        dst_port=2,
+        payload=payload,
+    )
+
+
+class TestPenRegister:
+    def test_records_outgoing_only(self):
+        tap = PenRegisterTap("pen", target_ip=SRC)
+        tap.observe(make_packet(src=SRC, dst=DST), 1.0)  # outgoing
+        tap.observe(make_packet(src=DST, dst=SRC), 2.0)  # incoming
+        assert len(tap.records) == 1
+        assert tap.records[0].src_ip == SRC
+
+    def test_untargeted_records_everything(self):
+        tap = PenRegisterTap("pen")
+        tap.observe(make_packet(), 1.0)
+        tap.observe(make_packet(src=DST, dst=SRC), 2.0)
+        assert len(tap.records) == 2
+
+    def test_cannot_retain_payload(self):
+        tap = PenRegisterTap("pen")
+        tap.observe(make_packet(payload="super secret"), 1.0)
+        record = tap.records[0]
+        assert "super secret" not in repr(record)
+        assert not hasattr(record, "payload")
+
+    def test_timestamps(self):
+        tap = PenRegisterTap("pen")
+        tap.observe(make_packet(), 1.0)
+        tap.observe(make_packet(), 2.5)
+        assert tap.timestamps() == [1.0, 2.5]
+
+    def test_data_kind_is_non_content(self):
+        assert PenRegisterTap("pen").data_kind is DataKind.NON_CONTENT
+
+
+class TestTrapTrace:
+    def test_records_incoming_only(self):
+        tap = TrapTraceTap("trap", target_ip=SRC)
+        tap.observe(make_packet(src=SRC, dst=DST), 1.0)  # outgoing
+        tap.observe(make_packet(src=DST, dst=SRC), 2.0)  # incoming
+        assert len(tap.records) == 1
+        assert tap.records[0].dst_ip == SRC
+
+    def test_data_kind_is_non_content(self):
+        assert TrapTraceTap("trap").data_kind is DataKind.NON_CONTENT
+
+
+class TestFullIntercept:
+    def test_retains_whole_packets(self):
+        tap = FullInterceptTap("full")
+        tap.observe(make_packet(payload="the body"), 1.0)
+        assert tap.payloads() == ["the body"]
+
+    def test_target_filter_matches_either_direction(self):
+        tap = FullInterceptTap("full", target_ip=SRC)
+        tap.observe(make_packet(src=SRC, dst=DST), 1.0)
+        tap.observe(make_packet(src=DST, dst=SRC), 2.0)
+        tap.observe(
+            make_packet(src=IpAddress(7), dst=IpAddress(8)), 3.0
+        )
+        assert tap.observed_count == 2
+
+    def test_encrypted_payloads_skipped_without_key(self):
+        tap = FullInterceptTap("full")
+        tap.observe(
+            make_packet(payload=EncryptedBlob("hidden", "k1")), 1.0
+        )
+        tap.observe(make_packet(payload="clear"), 2.0)
+        assert tap.payloads() == ["clear"]
+        assert tap.payloads("k1") == ["hidden", "clear"]
+
+    def test_data_kind_is_content(self):
+        assert FullInterceptTap("full").data_kind is DataKind.CONTENT
+
+
+class TestDescribeAction:
+    def test_pen_register_action_is_non_content(self):
+        tap = PenRegisterTap("pen")
+        action = tap.describe_action(
+            Actor.GOVERNMENT,
+            EnvironmentContext(place=Place.TRANSMISSION_PATH),
+        )
+        assert action.data_kind is DataKind.NON_CONTENT
+        assert action.real_time()
+
+    def test_full_intercept_action_is_content(self):
+        tap = FullInterceptTap("full")
+        action = tap.describe_action(
+            Actor.GOVERNMENT,
+            EnvironmentContext(place=Place.TRANSMISSION_PATH),
+        )
+        assert action.data_kind is DataKind.CONTENT
+
+    def test_engine_rules_on_tap_actions(self, engine):
+        from repro.core import ProcessKind
+
+        context = EnvironmentContext(place=Place.TRANSMISSION_PATH)
+        pen_ruling = engine.evaluate(
+            PenRegisterTap("pen").describe_action(Actor.GOVERNMENT, context)
+        )
+        full_ruling = engine.evaluate(
+            FullInterceptTap("full").describe_action(
+                Actor.GOVERNMENT, context
+            )
+        )
+        assert pen_ruling.required_process is ProcessKind.COURT_ORDER
+        assert full_ruling.required_process is ProcessKind.WIRETAP_ORDER

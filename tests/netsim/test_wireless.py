@@ -1,0 +1,121 @@
+"""Unit tests for the wireless broadcast medium (Table 1 rows 3-6 substrate)."""
+
+import pytest
+
+from repro.netsim import (
+    FullInterceptTap,
+    Network,
+    PenRegisterTap,
+    WirelessMedium,
+)
+from repro.netsim.packet import Packet
+
+
+@pytest.fixture()
+def world():
+    net = Network(seed=9)
+    alice = net.add_host("alice")
+    bob = net.add_host("bob")
+    return net, alice, bob
+
+
+def frame(alice, bob, payload="hello bob"):
+    return Packet(
+        src_mac=alice.mac,
+        dst_mac=bob.mac,
+        src_ip=alice.ip,
+        dst_ip=bob.ip,
+        src_port=5000,
+        dst_port=5001,
+        payload=payload,
+    )
+
+
+class TestOpenNetwork:
+    def test_sniffer_reads_everything(self, world):
+        net, alice, bob = world
+        medium = WirelessMedium(net.sim, "open-wlan", network_key=None)
+        medium.join(alice)
+        medium.join(bob)
+        sniffer = FullInterceptTap("wardriver")
+        medium.add_sniffer(sniffer)
+        medium.broadcast(frame(alice, bob), alice)
+        net.sim.run()
+        assert sniffer.payloads() == ["hello bob"]
+        assert not medium.encrypted
+
+    def test_station_receives_addressed_frames(self, world):
+        net, alice, bob = world
+        medium = WirelessMedium(net.sim, "open-wlan")
+        medium.join(alice)
+        medium.join(bob)
+        medium.broadcast(frame(alice, bob), alice)
+        net.sim.run()
+        assert [p.payload for p in bob.received] == ["hello bob"]
+
+    def test_station_drops_frames_for_others(self, world):
+        net, alice, bob = world
+        carol = net.add_host("carol")
+        medium = WirelessMedium(net.sim, "open-wlan")
+        for host in (alice, bob, carol):
+            medium.join(host)
+        medium.broadcast(frame(alice, bob), alice)
+        net.sim.run()
+        assert carol.received == []
+
+
+class TestProtectedNetwork:
+    def test_payload_encrypted_on_air(self, world):
+        net, alice, bob = world
+        medium = WirelessMedium(net.sim, "home", network_key="wpa-key")
+        medium.join(alice)
+        medium.join(bob)
+        sniffer = FullInterceptTap("wardriver")
+        medium.add_sniffer(sniffer)
+        medium.broadcast(frame(alice, bob, "family photos"), alice)
+        net.sim.run()
+        assert medium.encrypted
+        assert sniffer.payloads() == []  # no key, no content
+        assert sniffer.payloads("wpa-key") == ["family photos"]
+
+    def test_headers_remain_visible(self, world):
+        net, alice, bob = world
+        medium = WirelessMedium(net.sim, "home", network_key="wpa-key")
+        medium.join(alice)
+        medium.join(bob)
+        pen = PenRegisterTap("header-logger")
+        medium.add_sniffer(pen)
+        medium.broadcast(frame(alice, bob), alice)
+        net.sim.run()
+        assert len(pen.records) == 1
+        assert pen.records[0].src_ip == alice.ip
+        assert pen.records[0].dst_ip == bob.ip
+
+    def test_joined_stations_hold_the_key(self, world):
+        net, alice, __ = world
+        medium = WirelessMedium(net.sim, "home", network_key="wpa-key")
+        medium.join(alice)
+        assert "wpa-key" in alice.keys
+
+
+class TestSnifferManagement:
+    def test_removed_sniffer_hears_nothing(self, world):
+        net, alice, bob = world
+        medium = WirelessMedium(net.sim, "open-wlan")
+        medium.join(alice)
+        medium.join(bob)
+        sniffer = FullInterceptTap("wardriver")
+        medium.add_sniffer(sniffer)
+        medium.remove_sniffer(sniffer)
+        medium.broadcast(frame(alice, bob), alice)
+        net.sim.run()
+        assert sniffer.observed_count == 0
+
+    def test_frames_sent_counter(self, world):
+        net, alice, bob = world
+        medium = WirelessMedium(net.sim, "open-wlan")
+        medium.join(alice)
+        medium.join(bob)
+        for __ in range(3):
+            medium.broadcast(frame(alice, bob), alice)
+        assert medium.frames_sent == 3

@@ -1,0 +1,67 @@
+"""Unit tests for block devices and imaging."""
+
+import pytest
+
+from repro.storage.blockdev import BlockDevice, image_device
+
+
+class TestGeometry:
+    def test_capacity(self):
+        assert BlockDevice(n_blocks=10, block_size=512).capacity == 5120
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            BlockDevice(n_blocks=0)
+        with pytest.raises(ValueError):
+            BlockDevice(block_size=-1)
+
+
+class TestReadWrite:
+    def test_roundtrip_with_padding(self):
+        device = BlockDevice(n_blocks=4, block_size=8)
+        device.write_block(1, b"abc")
+        assert device.read_block(1) == b"abc\x00\x00\x00\x00\x00"
+
+    def test_out_of_range_rejected(self):
+        device = BlockDevice(n_blocks=4, block_size=8)
+        with pytest.raises(IndexError):
+            device.read_block(4)
+        with pytest.raises(IndexError):
+            device.write_block(-1, b"x")
+
+    def test_oversized_write_rejected(self):
+        device = BlockDevice(n_blocks=4, block_size=8)
+        with pytest.raises(ValueError):
+            device.write_block(0, b"123456789")
+
+    def test_io_counters(self):
+        device = BlockDevice(n_blocks=4, block_size=8)
+        device.write_block(0, b"x")
+        device.read_block(0)
+        device.read_block(0)
+        assert device.writes == 1
+        assert device.reads == 2
+
+
+class TestImaging:
+    def test_image_is_bit_for_bit(self):
+        device = BlockDevice(n_blocks=8, block_size=16)
+        device.write_block(3, b"evidence here")
+        image = image_device(device)
+        assert image.raw_bytes() == device.raw_bytes()
+        assert image.sha256() == device.sha256()
+
+    def test_image_is_independent(self):
+        device = BlockDevice(n_blocks=8, block_size=16)
+        device.write_block(0, b"original")
+        image = image_device(device)
+        device.write_block(0, b"tampered")
+        assert image.read_block(0).startswith(b"original")
+        assert image.sha256() != device.sha256()
+
+    def test_hash_is_stable(self):
+        device = BlockDevice(n_blocks=2, block_size=4)
+        assert device.sha256() == device.sha256()
+        before = device.sha256()
+        device.write_block(0, b"z")
+        assert device.sha256() != before

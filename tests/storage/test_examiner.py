@@ -1,0 +1,101 @@
+"""Unit tests for the forensic examiner workflow."""
+
+import pytest
+
+from repro.storage import (
+    BlockDevice,
+    ForensicExaminer,
+    KnownFileSet,
+    SimpleFilesystem,
+    TimelineEventKind,
+    sha256_hex,
+)
+
+
+@pytest.fixture()
+def seized_fs():
+    fs = SimpleFilesystem(BlockDevice(n_blocks=256, block_size=64))
+    fs.write_file("report.txt", "quarterly report")
+    fs.write_file("photo.jpg", "JPEG[vacation]GEPJ")
+    fs.write_file("cp.jpg", "JPEG[contraband]GEPJ")
+    fs.delete_file("cp.jpg")
+    return fs
+
+
+@pytest.fixture()
+def examiner():
+    known = KnownFileSet.from_contents(["JPEG[contraband]GEPJ"])
+    return ForensicExaminer(known_files=known)
+
+
+class TestExamination:
+    def test_image_verified(self, examiner, seized_fs):
+        report = examiner.examine(seized_fs)
+        assert report.image_verified
+        assert report.image_hash == seized_fs.device.sha256()
+
+    def test_live_and_recovered_inventories(self, examiner, seized_fs):
+        report = examiner.examine(seized_fs)
+        assert set(report.live_files) == {"report.txt", "photo.jpg"}
+        assert set(report.recovered_files) == {"cp.jpg"}
+        assert report.total_files_examined == 3
+        assert report.live_files["report.txt"] == sha256_hex(
+            "quarterly report"
+        )
+
+    def test_carving_finds_both_jpegs(self, examiner, seized_fs):
+        report = examiner.examine(seized_fs)
+        jpeg_artifacts = [
+            a for a in report.carved_artifacts if a.signature == "jpeg"
+        ]
+        assert len(jpeg_artifacts) == 2
+
+    def test_known_file_hit_on_deleted_contraband(self, examiner, seized_fs):
+        report = examiner.examine(seized_fs)
+        assert report.known_file_hits == ("cp.jpg",)
+
+    def test_original_device_untouched(self, examiner, seized_fs):
+        before = seized_fs.device.sha256()
+        writes_before = seized_fs.device.writes
+        examiner.examine(seized_fs)
+        assert seized_fs.device.sha256() == before
+        assert seized_fs.device.writes == writes_before
+
+    def test_no_known_set_no_hits(self, seized_fs):
+        report = ForensicExaminer().examine(seized_fs)
+        assert report.known_file_hits == ()
+
+    def test_summary_renders(self, examiner, seized_fs):
+        summary = examiner.examine(seized_fs).summary()
+        assert "verified" in summary
+        assert "2 live files" in summary
+        assert "1 recovered" in summary
+
+
+class TestTimeline:
+    def test_creation_precedes_deletion(self, examiner, seized_fs):
+        report = examiner.examine(seized_fs)
+        created = next(
+            e
+            for e in report.timeline
+            if e.kind is TimelineEventKind.FILE_CREATED
+            and e.subject == "cp.jpg"
+        )
+        deleted = next(
+            e
+            for e in report.timeline
+            if e.kind is TimelineEventKind.FILE_DELETED
+        )
+        assert created.order < deleted.order
+
+    def test_timeline_is_ordered(self, examiner, seized_fs):
+        report = examiner.examine(seized_fs)
+        orders = [e.order for e in report.timeline]
+        assert orders == sorted(orders)
+
+    def test_recovery_and_hit_events_present(self, examiner, seized_fs):
+        report = examiner.examine(seized_fs)
+        kinds = {e.kind for e in report.timeline}
+        assert TimelineEventKind.FILE_RECOVERED in kinds
+        assert TimelineEventKind.KNOWN_FILE_HIT in kinds
+        assert TimelineEventKind.ARTIFACT_CARVED in kinds

@@ -1,0 +1,113 @@
+"""Unit tests for the recoverable filesystem."""
+
+import pytest
+
+from repro.storage.blockdev import BlockDevice
+from repro.storage.filesystem import FilesystemError, SimpleFilesystem
+
+
+@pytest.fixture()
+def fs():
+    return SimpleFilesystem(BlockDevice(n_blocks=16, block_size=8))
+
+
+class TestBasicOperations:
+    def test_write_read_roundtrip(self, fs):
+        fs.write_file("a.txt", "hello filesystem")
+        assert fs.read_file("a.txt") == b"hello filesystem"
+
+    def test_bytes_roundtrip(self, fs):
+        fs.write_file("b.bin", b"\x01\x02\x03")
+        assert fs.read_file("b.bin") == b"\x01\x02\x03"
+
+    def test_list_and_exists(self, fs):
+        fs.write_file("a", "1")
+        fs.write_file("b", "2")
+        assert fs.list_files() == ["a", "b"]
+        assert fs.exists("a")
+        assert not fs.exists("c")
+
+    def test_read_missing_raises(self, fs):
+        with pytest.raises(FilesystemError):
+            fs.read_file("ghost")
+
+    def test_overwrite_replaces_content(self, fs):
+        fs.write_file("a", "old content here")
+        fs.write_file("a", "new")
+        assert fs.read_file("a") == b"new"
+        assert fs.list_files() == ["a"]
+
+    def test_device_full(self, fs):
+        fs.write_file("big", "x" * 100)  # 13 blocks
+        with pytest.raises(FilesystemError, match="no space"):
+            fs.write_file("more", "y" * 50)
+
+    def test_empty_file_takes_one_block(self, fs):
+        fs.write_file("empty", "")
+        assert fs.read_file("empty") == b""
+        assert fs.free_blocks == 15
+
+
+class TestDeletion:
+    def test_delete_unlinks(self, fs):
+        fs.write_file("doomed", "data")
+        fs.delete_file("doomed")
+        assert not fs.exists("doomed")
+        with pytest.raises(FilesystemError):
+            fs.read_file("doomed")
+
+    def test_delete_missing_raises(self, fs):
+        with pytest.raises(FilesystemError):
+            fs.delete_file("ghost")
+
+    def test_delete_frees_blocks(self, fs):
+        before = fs.free_blocks
+        fs.write_file("f", "x" * 20)
+        fs.delete_file("f")
+        assert fs.free_blocks == before
+
+
+class TestRecovery:
+    def test_deleted_file_recoverable(self, fs):
+        fs.write_file("secret", "deleted but not gone")
+        fs.delete_file("secret")
+        recovered = fs.recover_deleted()
+        assert recovered["secret"] == b"deleted but not gone"
+
+    def test_overwritten_blocks_not_recoverable(self, fs):
+        fs.write_file("victim", "x" * 100)  # most of the disk
+        fs.delete_file("victim")
+        fs.write_file("newcomer", "y" * 100)  # reuses the blocks
+        assert "victim" not in fs.recover_deleted()
+
+    def test_space_pressure_reclaims_deleted_blocks(self, fs):
+        # Freed blocks go to the back of the pool: a small deleted file
+        # survives until later writes exhaust the fresh blocks.
+        fs.write_file("a", "aaaa")  # 1 block
+        fs.delete_file("a")
+        assert "a" in fs.recover_deleted()  # fresh blocks still available
+        fs.write_file("filler", "x" * 128)  # 16 blocks: forces reuse
+        assert "a" not in fs.recover_deleted()
+
+    def test_multiple_deleted_files(self, fs):
+        fs.write_file("one", "first")
+        fs.write_file("two", "second")
+        fs.delete_file("one")
+        fs.delete_file("two")
+        recovered = fs.recover_deleted()
+        assert set(recovered) == {"one", "two"}
+
+
+class TestExhaustiveExamination:
+    def test_all_contents_includes_deleted(self, fs):
+        fs.write_file("live", "visible")
+        fs.write_file("dead", "invisible")
+        fs.delete_file("dead")
+        contents = fs.all_contents()
+        assert contents["live"] == b"visible"
+        assert contents["(deleted) dead"] == b"invisible"
+
+    def test_all_contents_can_exclude_deleted(self, fs):
+        fs.write_file("dead", "gone")
+        fs.delete_file("dead")
+        assert fs.all_contents(include_deleted=False) == {}

@@ -1,0 +1,107 @@
+"""Unit tests for hashing, known-file sets, and signature carving."""
+
+import pytest
+
+from repro.storage.blockdev import BlockDevice
+from repro.storage.carving import (
+    DEFAULT_SIGNATURES,
+    FileSignature,
+    carve,
+)
+from repro.storage.filesystem import SimpleFilesystem
+from repro.storage.hashing import KnownFileSet, sha256_hex
+
+
+class TestHashing:
+    def test_str_and_bytes_agree(self):
+        assert sha256_hex("abc") == sha256_hex(b"abc")
+
+    def test_known_sha256_vector(self):
+        assert sha256_hex("") == (
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        )
+
+
+class TestKnownFileSet:
+    def test_from_contents(self):
+        known = KnownFileSet.from_contents(["bad-a", "bad-b"])
+        assert len(known) == 2
+        assert known.contains_content("bad-a")
+        assert not known.contains_content("good")
+
+    def test_add_hash_case_insensitive(self):
+        known = KnownFileSet()
+        digest = sha256_hex("x")
+        known.add_hash(digest.upper())
+        assert known.contains_hash(digest)
+        assert digest in known
+
+    def test_add_content_returns_digest(self):
+        known = KnownFileSet()
+        digest = known.add_content("payload")
+        assert digest == sha256_hex("payload")
+
+
+class TestSignatures:
+    def test_empty_magic_rejected(self):
+        with pytest.raises(ValueError):
+            FileSignature(name="bad", header=b"", footer=b"x")
+        with pytest.raises(ValueError):
+            FileSignature(name="bad", header=b"x", footer=b"")
+
+    def test_default_signatures_distinct(self):
+        names = {s.name for s in DEFAULT_SIGNATURES}
+        assert len(names) == len(DEFAULT_SIGNATURES)
+
+
+class TestCarving:
+    def build_device(self):
+        device = BlockDevice(n_blocks=64, block_size=32)
+        fs = SimpleFilesystem(device)
+        fs.write_file("pic.jpg", "JPEG[a beach photo]GEPJ")
+        fs.write_file("doc.pdf", "PDF[an agreement]FDP")
+        fs.write_file("deleted.jpg", "JPEG[deleted pic]GEPJ")
+        fs.delete_file("deleted.jpg")
+        return device
+
+    def test_carves_all_signature_hits(self):
+        carved = carve(self.build_device())
+        kinds = sorted(item.signature for item in carved)
+        assert kinds == ["jpeg", "jpeg", "pdf"]
+
+    def test_carved_contents_include_magic(self):
+        carved = carve(self.build_device())
+        jpegs = [c for c in carved if c.signature == "jpeg"]
+        contents = {c.contents for c in jpegs}
+        assert b"JPEG[a beach photo]GEPJ" in contents
+        assert b"JPEG[deleted pic]GEPJ" in contents
+
+    def test_carving_finds_deleted_data(self):
+        """Carving sees data the file table no longer references."""
+        carved = carve(self.build_device())
+        assert any(b"deleted pic" in c.contents for c in carved)
+
+    def test_offsets_ordered_and_consistent(self):
+        device = self.build_device()
+        carved = carve(device)
+        raw = device.raw_bytes()
+        for item in carved:
+            assert raw[item.start_offset : item.end_offset] == item.contents
+        offsets = [item.start_offset for item in carved]
+        assert offsets == sorted(offsets)
+
+    def test_unterminated_header_not_carved(self):
+        device = BlockDevice(n_blocks=4, block_size=32)
+        device.write_block(0, b"JPEG[never finished")
+        assert carve(device) == []
+
+    def test_empty_device_carves_nothing(self):
+        assert carve(BlockDevice(n_blocks=4, block_size=32)) == []
+
+    def test_custom_signature(self):
+        device = BlockDevice(n_blocks=4, block_size=32)
+        device.write_block(1, b"XX[payload]YY")
+        signature = FileSignature(name="custom", header=b"XX[", footer=b"]YY")
+        carved = carve(device, signatures=(signature,))
+        assert len(carved) == 1
+        assert carved[0].contents == b"XX[payload]YY"

@@ -1,0 +1,138 @@
+"""Unit tests for the SCA-aware mail store (section III.A.3)."""
+
+import pytest
+
+from repro.core import (
+    LegalSource,
+    ProcessKind,
+    ProviderRole,
+)
+from repro.storage.mailstore import MailProvider, Message
+
+
+@pytest.fixture()
+def gmail():
+    provider = MailProvider("gmail", serves_public=True)
+    provider.create_account("bob")
+    return provider
+
+
+@pytest.fixture()
+def university():
+    provider = MailProvider("cs.charlie.edu", serves_public=False)
+    provider.create_account("alice")
+    return provider
+
+
+def make_message(recipient="bob"):
+    return Message(
+        sender="someone@example.com",
+        recipient=recipient,
+        subject="s",
+        body="b",
+        sent_at=0.0,
+    )
+
+
+class TestLifecycle:
+    def test_in_transit_before_delivery(self):
+        message = make_message()
+        assert message.in_transit
+
+    def test_delivery(self, gmail):
+        message = make_message()
+        gmail.deliver(message, time=1.0)
+        assert not message.in_transit
+        assert message.delivered_at == 1.0
+        assert gmail.mailbox("bob") == [message]
+
+    def test_delivery_to_unknown_account(self, gmail):
+        with pytest.raises(KeyError):
+            gmail.deliver(make_message(recipient="ghost"), time=1.0)
+
+    def test_retrieve_marks_opened(self, gmail):
+        message = make_message()
+        gmail.deliver(message, time=1.0)
+        gmail.retrieve("bob", message.message_id)
+        assert message.retrieved
+
+    def test_delete_removes_from_mailbox(self, gmail):
+        message = make_message()
+        gmail.deliver(message, time=1.0)
+        gmail.delete("bob", message.message_id)
+        assert gmail.mailbox("bob") == []
+        assert message.deleted
+
+    def test_unknown_message_raises(self, gmail):
+        with pytest.raises(KeyError):
+            gmail.retrieve("bob", 99999)
+
+    def test_duplicate_account_rejected(self, gmail):
+        with pytest.raises(ValueError):
+            gmail.create_account("bob")
+
+
+class TestScaRoles:
+    def test_public_provider_ecs_then_rcs(self, gmail):
+        message = make_message()
+        gmail.deliver(message, time=1.0)
+        assert gmail.role_for(message) is ProviderRole.ECS
+        gmail.retrieve("bob", message.message_id)
+        assert gmail.role_for(message) is ProviderRole.RCS
+
+    def test_nonpublic_provider_ecs_then_neither(self, university):
+        message = make_message(recipient="alice")
+        university.deliver(message, time=1.0)
+        assert university.role_for(message) is ProviderRole.ECS
+        university.retrieve("alice", message.message_id)
+        assert university.role_for(message) is ProviderRole.NEITHER
+
+
+class TestRequiredProcess:
+    def test_ecs_content_needs_warrant_under_sca(self, gmail):
+        message = make_message()
+        gmail.deliver(message, time=1.0)
+        process, source = gmail.required_process_for(message)
+        assert process is ProcessKind.SEARCH_WARRANT
+        assert source is LegalSource.SCA
+
+    def test_dropped_out_message_governed_by_fourth_amendment(
+        self, university
+    ):
+        message = make_message(recipient="alice")
+        university.deliver(message, time=1.0)
+        university.retrieve("alice", message.message_id)
+        process, source = university.required_process_for(message)
+        assert process is ProcessKind.SEARCH_WARRANT
+        assert source is LegalSource.FOURTH_AMENDMENT
+
+
+class TestEngineConsistency:
+    def test_engine_agrees_with_mailstore(self, engine, gmail, university):
+        scenarios = []
+        gmail_msg = make_message()
+        gmail.deliver(gmail_msg, time=1.0)
+        scenarios.append((gmail, gmail_msg))
+        gmail.retrieve("bob", gmail_msg.message_id)
+        scenarios.append((gmail, gmail_msg))
+
+        uni_msg = make_message(recipient="alice")
+        university.deliver(uni_msg, time=1.0)
+        scenarios.append((university, uni_msg))
+        university.retrieve("alice", uni_msg.message_id)
+        scenarios.append((university, uni_msg))
+
+        for provider, message in scenarios:
+            expected_process, __ = provider.required_process_for(message)
+            ruling = engine.evaluate(provider.describe_compulsion(message))
+            assert ruling.required_process is expected_process
+
+    def test_dropped_out_compulsion_not_governed_by_sca(
+        self, engine, university
+    ):
+        message = make_message(recipient="alice")
+        university.deliver(message, time=1.0)
+        university.retrieve("alice", message.message_id)
+        ruling = engine.evaluate(university.describe_compulsion(message))
+        assert LegalSource.SCA not in ruling.governing_sources
+        assert LegalSource.FOURTH_AMENDMENT in ruling.governing_sources

@@ -1,0 +1,70 @@
+"""Property-based tests for the SCA mail-store lifecycle."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ProcessKind, ProviderRole
+from repro.storage.mailstore import MailProvider, Message
+
+
+@given(
+    serves_public=st.booleans(),
+    retrieve=st.booleans(),
+    n_messages=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=100, deadline=None)
+def test_lifecycle_invariants(serves_public, retrieve, n_messages):
+    provider = MailProvider("p", serves_public=serves_public)
+    provider.create_account("user")
+    messages = []
+    for index in range(n_messages):
+        message = Message(
+            sender=f"s{index}@x",
+            recipient="user",
+            subject=f"m{index}",
+            body="...",
+            sent_at=float(index),
+        )
+        provider.deliver(message, time=float(index) + 0.5)
+        messages.append(message)
+
+    for message in messages:
+        # Unretrieved mail is always ECS, whoever the provider is.
+        assert provider.role_for(message) is ProviderRole.ECS
+        if retrieve:
+            provider.retrieve("user", message.message_id)
+
+    for message in messages:
+        role = provider.role_for(message)
+        if not retrieve:
+            assert role is ProviderRole.ECS
+        elif serves_public:
+            assert role is ProviderRole.RCS
+        else:
+            assert role is ProviderRole.NEITHER
+
+        # Whatever the role, compelling content always takes a warrant —
+        # the governing *source* shifts, never the burden.
+        process, __ = provider.required_process_for(message)
+        assert process is ProcessKind.SEARCH_WARRANT
+
+
+@given(n_messages=st.integers(min_value=1, max_value=6))
+@settings(max_examples=50, deadline=None)
+def test_deletion_empties_the_mailbox(n_messages):
+    provider = MailProvider("p", serves_public=True)
+    provider.create_account("user")
+    ids = []
+    for index in range(n_messages):
+        message = Message(
+            sender="s@x",
+            recipient="user",
+            subject=f"m{index}",
+            body="...",
+            sent_at=float(index),
+        )
+        provider.deliver(message, time=float(index))
+        ids.append(message.message_id)
+    for message_id in ids:
+        provider.delete("user", message_id)
+    assert provider.mailbox("user") == []

@@ -1,0 +1,73 @@
+"""Property-based tests for the storage substrate."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.blockdev import BlockDevice, image_device
+from repro.storage.filesystem import FilesystemError, SimpleFilesystem
+
+names = st.text(
+    alphabet=string.ascii_lowercase, min_size=1, max_size=8
+)
+contents = st.text(
+    alphabet=string.ascii_letters + string.digits + " ", max_size=200
+)
+
+
+@given(st.dictionaries(names, contents, min_size=1, max_size=8))
+@settings(max_examples=100, deadline=None)
+def test_roundtrip_many_files(files):
+    fs = SimpleFilesystem(BlockDevice(n_blocks=512, block_size=32))
+    for name, data in files.items():
+        fs.write_file(name, data)
+    for name, data in files.items():
+        assert fs.read_file(name) == data.encode()
+    assert fs.list_files() == sorted(files)
+
+
+@given(st.lists(st.tuples(names, contents), min_size=1, max_size=12))
+@settings(max_examples=100, deadline=None)
+def test_delete_then_recover_before_pressure(operations):
+    fs = SimpleFilesystem(BlockDevice(n_blocks=1024, block_size=32))
+    written: dict[str, str] = {}
+    for name, data in operations:
+        fs.write_file(name, data)
+        written[name] = data
+    for name in list(written):
+        fs.delete_file(name)
+    recovered = fs.recover_deleted()
+    # With no subsequent writes, the most recent content of every file is
+    # recoverable (name collisions resolve to the last write).
+    for name, data in written.items():
+        assert recovered.get(name) == data.encode()
+
+
+@given(st.dictionaries(names, contents, min_size=1, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_imaging_preserves_hash(files):
+    device = BlockDevice(n_blocks=256, block_size=32)
+    fs = SimpleFilesystem(device)
+    for name, data in files.items():
+        fs.write_file(name, data)
+    image = image_device(device)
+    assert image.sha256() == device.sha256()
+    assert image.raw_bytes() == device.raw_bytes()
+
+
+@given(st.integers(min_value=1, max_value=64))
+@settings(max_examples=30, deadline=None)
+def test_free_blocks_conserved(n_files):
+    fs = SimpleFilesystem(BlockDevice(n_blocks=256, block_size=16))
+    initial = fs.free_blocks
+    created = []
+    for i in range(n_files):
+        try:
+            fs.write_file(f"f{i}", "x" * (i % 40))
+            created.append(f"f{i}")
+        except FilesystemError:
+            break
+    for name in created:
+        fs.delete_file(name)
+    assert fs.free_blocks == initial

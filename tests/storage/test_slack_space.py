@@ -1,0 +1,71 @@
+"""Tests for slack-space retention and carving.
+
+Real filesystems overwrite only the new file's bytes; the remainder of
+the last block — slack space — keeps whatever was there before.  The
+examiner's carving pass recovers fragments from it even after the file
+table has forgotten everything.
+"""
+
+from repro.storage import (
+    BlockDevice,
+    FileSignature,
+    SimpleFilesystem,
+    carve,
+)
+
+
+class TestSlackRetention:
+    def test_partial_write_preserves_tail(self):
+        device = BlockDevice(n_blocks=4, block_size=16)
+        device.write_block(0, b"AAAAAAAAAAAAAAAA")
+        device.write_partial(0, b"BB")
+        assert device.read_block(0) == b"BB" + b"A" * 14
+
+    def test_new_small_file_leaves_deleted_tail_in_slack(self):
+        device = BlockDevice(n_blocks=4, block_size=32)
+        fs = SimpleFilesystem(device)
+        fs.write_file("secret.txt", "INCRIMINATING-TAIL-DATA-HERE")
+        fs.delete_file("secret.txt")
+        # Force reuse of the freed block: exhaust the fresh pool first.
+        fs.write_file("filler", "x" * 96)  # 3 blocks
+        fs.write_file("cover.txt", "hi")  # reuses secret's block
+        raw = device.raw_bytes()
+        assert b"hi" in raw
+        # The tail of the deleted file survives in cover.txt's slack.
+        assert b"TAIL-DATA-HERE" in raw
+
+    def test_read_file_never_returns_slack(self):
+        device = BlockDevice(n_blocks=4, block_size=32)
+        fs = SimpleFilesystem(device)
+        fs.write_file("old", "OLD-CONTENT-FILLING-THE-BLOCK!!!")
+        fs.delete_file("old")
+        fs.write_file("filler", "x" * 96)
+        fs.write_file("new", "tiny")
+        assert fs.read_file("new") == b"tiny"
+
+
+class TestSlackCarving:
+    def test_carving_recovers_artifact_from_slack(self):
+        device = BlockDevice(n_blocks=4, block_size=64)
+        fs = SimpleFilesystem(device)
+        # An artifact that fits inside one block's tail.
+        fs.write_file("evidence.jpg", "padpadpad JPEG[slacked pic]GEPJ")
+        fs.delete_file("evidence.jpg")
+        fs.write_file("filler", "x" * 192)  # 3 blocks
+        fs.write_file("innocent.txt", "note")  # overwrites only 4 bytes
+        carved = carve(device)
+        assert any(b"slacked pic" in item.contents for item in carved)
+
+    def test_overwritten_header_defeats_carving(self):
+        device = BlockDevice(n_blocks=4, block_size=64)
+        fs = SimpleFilesystem(device)
+        fs.write_file("evidence.jpg", "JPEG[gone]GEPJ")
+        fs.delete_file("evidence.jpg")
+        fs.write_file("filler", "x" * 192)
+        # The new file's prefix destroys the signature header.
+        fs.write_file("innocent.txt", "long enough to cover JPEG[")
+        signature = FileSignature(
+            name="jpeg", header=b"JPEG[", footer=b"]GEPJ"
+        )
+        carved = carve(device, signatures=(signature,))
+        assert not any(b"gone" in item.contents for item in carved)

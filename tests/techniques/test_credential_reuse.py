@@ -1,0 +1,58 @@
+"""Unit tests for post-arrest credentialed access (Table 1 scene 20)."""
+
+import pytest
+
+from repro.core import ProcessKind
+from repro.netsim import Network
+from repro.netsim.isp import IspNode
+from repro.techniques.credential_reuse import (
+    Credential,
+    CredentialedAccessTechnique,
+)
+
+
+@pytest.fixture()
+def provider():
+    net = Network(seed=2)
+    isp = IspNode("cloud", net.sim, serves_public=True)
+    isp.register_subscriber("mallory", "M. Mallory", "9 Oak Ave")
+    isp.store_content("mallory", "incriminating ledger")
+    isp.store_content("mallory", "co-conspirator emails")
+    isp.register_subscriber("other", "Other User", "1 Pine Rd")
+    isp.store_content("other", "unrelated data")
+    return isp
+
+
+class TestRetrieval:
+    def test_retrieves_only_defendants_items(self, provider):
+        technique = CredentialedAccessTechnique(
+            Credential("mallory", "hunter2")
+        )
+        report = technique.run(provider, "mallory")
+        assert report.items_retrieved == (
+            "incriminating ledger",
+            "co-conspirator emails",
+        )
+
+    def test_wrong_account_rejected(self, provider):
+        technique = CredentialedAccessTechnique(
+            Credential("mallory", "hunter2")
+        )
+        with pytest.raises(PermissionError):
+            technique.run(provider, "other")
+
+
+class TestLegalProfile:
+    def test_lawful_credentials_need_no_process(self):
+        technique = CredentialedAccessTechnique(
+            Credential("d", "pw", lawfully_obtained=True)
+        )
+        assert technique.required_process() is ProcessKind.NONE
+
+    def test_unlawful_credentials_need_a_warrant(self):
+        # Without the lawful-acquisition doctrine flag, the SCA/Fourth
+        # Amendment analysis reasserts itself.
+        technique = CredentialedAccessTechnique(
+            Credential("d", "pw", lawfully_obtained=False)
+        )
+        assert technique.required_process() is ProcessKind.SEARCH_WARRANT

@@ -1,0 +1,63 @@
+"""Unit tests for the data-mining technique (Table 1 scene 19)."""
+
+import pytest
+
+from repro.core import ProcessKind
+from repro.techniques.data_mining import DataMiningTechnique
+
+RECORDS = [
+    {"ip": "10.0.0.1", "port": 80, "user": "a"},
+    {"ip": "10.0.0.1", "port": 443, "user": "a"},
+    {"ip": "10.0.0.2", "port": 80, "user": "b"},
+    {"ip": "10.0.0.1", "port": 80, "user": "c"},
+    {"port": 22},  # partial record
+]
+
+
+class TestMining:
+    def test_frequencies(self):
+        report = DataMiningTechnique(fields=["ip", "port"]).run(RECORDS)
+        assert report.frequencies["ip"]["10.0.0.1"] == 3
+        assert report.frequencies["port"][80] == 3
+        assert report.n_records == 5
+
+    def test_cooccurrence(self):
+        report = DataMiningTechnique(fields=["ip", "port"]).run(RECORDS)
+        top = report.top_cooccurrences[0]
+        assert (top.value_a, top.value_b) == ("10.0.0.1", 80)
+        assert top.count == 2
+
+    def test_flagging(self):
+        technique = DataMiningTechnique(
+            fields=["ip"],
+            flag_predicate=lambda r: r.get("port") == 22,
+        )
+        report = technique.run(RECORDS)
+        assert report.flagged == (4,)
+
+    def test_no_predicate_no_flags(self):
+        report = DataMiningTechnique(fields=["ip"]).run(RECORDS)
+        assert report.flagged == ()
+
+    def test_partial_records_tolerated(self):
+        report = DataMiningTechnique(fields=["user"]).run(RECORDS)
+        assert sum(report.frequencies["user"].values()) == 4
+
+    def test_empty_fields_rejected(self):
+        with pytest.raises(ValueError):
+            DataMiningTechnique(fields=[])
+
+    def test_top_k_limits_output(self):
+        technique = DataMiningTechnique(fields=["ip", "port", "user"], top_k=2)
+        report = technique.run(RECORDS)
+        assert len(report.top_cooccurrences) == 2
+
+
+class TestLegalProfile:
+    def test_sloane_means_no_process(self):
+        technique = DataMiningTechnique(fields=["ip"])
+        assert technique.required_process() is ProcessKind.NONE
+
+    def test_action_carries_mining_flag(self):
+        action = DataMiningTechnique(fields=["ip"]).required_actions()[0]
+        assert action.doctrine.mining_of_lawful_data

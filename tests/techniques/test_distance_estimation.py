@@ -1,0 +1,81 @@
+"""Tests for hop-distance estimation in the timing attack.
+
+The paper's IV.A description: identify whether neighbours "are sources or
+trusted nodes of the sources" — i.e. distinguish distance 0 from distance
+1 (and beyond).
+"""
+
+import pytest
+
+from repro.anonymity.p2p import P2POverlay, TimingParameters
+from repro.techniques.timing_attack import OneSwarmTimingAttack
+
+
+def chain_overlay(source_distance: int, seed: int = 8) -> P2POverlay:
+    """le -- n0 -- n1 -- ... with a source at the given distance from n0."""
+    overlay = P2POverlay(seed=seed)
+    overlay.add_peer("le")
+    previous = "le"
+    for index in range(source_distance):
+        name = f"n{index}"
+        overlay.add_peer(name)
+        overlay.befriend(previous, name, latency=0.02)
+        previous = name
+    overlay.add_peer("src", files={"f"})
+    overlay.befriend(previous, "src", latency=0.02)
+    return overlay
+
+
+class TestGroundTruthDistance:
+    def test_source_is_distance_zero(self):
+        overlay = chain_overlay(1)
+        assert overlay.distance_to_source("src", "f") == 0
+
+    def test_chain_distances(self):
+        overlay = chain_overlay(3)
+        assert overlay.distance_to_source("n0", "f") == 3
+        assert overlay.distance_to_source("n2", "f") == 1
+        assert overlay.distance_to_source("le", "f") == 4
+
+    def test_unreachable_is_none(self):
+        overlay = P2POverlay(seed=1)
+        overlay.add_peer("lonely")
+        assert overlay.distance_to_source("lonely", "nothing") is None
+
+
+class TestEstimation:
+    @pytest.mark.parametrize("true_distance", [0, 1, 2, 3])
+    def test_chain_distance_estimated_correctly(self, true_distance):
+        # Neighbour n0's distance to the source equals true_distance; for
+        # distance 0 the investigator befriends the source directly.
+        overlay = chain_overlay(true_distance, seed=40 + true_distance)
+        result = OneSwarmTimingAttack().investigate(
+            overlay, "le", "f", trials=15, ttl=true_distance + 2
+        )
+        neighbour = result.assessments[0]
+        assert neighbour.estimated_distance == true_distance
+
+    def test_trusted_node_distinguished_from_source(self):
+        """Distance-1 neighbours (trusted nodes) are not sources."""
+        overlay = P2POverlay(seed=9)
+        overlay.add_peer("le")
+        overlay.add_peer("direct-source", files={"f"})
+        overlay.add_peer("trusted-node")
+        overlay.add_peer("behind", files={"f"})
+        overlay.befriend("le", "direct-source", latency=0.02)
+        overlay.befriend("le", "trusted-node", latency=0.02)
+        overlay.befriend("trusted-node", "behind", latency=0.02)
+        result = OneSwarmTimingAttack().investigate(
+            overlay, "le", "f", trials=15
+        )
+        by_name = {a.name: a for a in result.assessments}
+        assert by_name["direct-source"].estimated_distance == 0
+        assert by_name["direct-source"].classified_source
+        assert by_name["trusted-node"].estimated_distance == 1
+        assert not by_name["trusted-node"].classified_source
+
+    def test_estimate_never_negative(self):
+        timing = TimingParameters()
+        attack = OneSwarmTimingAttack()
+        for excess in (0.0, 0.001, 0.05, 0.2, 1.0, 5.0):
+            assert attack.estimate_distance(excess, timing) >= 0

@@ -1,0 +1,103 @@
+"""Unit tests for the passive flow-correlation baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core import ProcessKind
+from repro.techniques.flow_correlation import (
+    PacketCountingCorrelator,
+    binned_counts,
+    pearson,
+)
+
+
+class TestBinnedCounts:
+    def test_counts(self):
+        counts = binned_counts(
+            [0.1, 0.2, 1.5, 2.9], start=0.0, duration=3.0, window=1.0
+        )
+        assert list(counts) == [2, 1, 1]
+
+    def test_out_of_range_ignored(self):
+        counts = binned_counts([5.0], start=0.0, duration=3.0, window=1.0)
+        assert counts.sum() == 0
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            binned_counts([1.0], 0.0, 3.0, window=0)
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        assert pearson(a, a * 2 + 1) == pytest.approx(1.0)
+
+    def test_anticorrelation(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert pearson(a, -a) == pytest.approx(-1.0)
+
+    def test_constant_series_scores_zero(self):
+        a = np.array([1.0, 1.0, 1.0])
+        b = np.array([1.0, 2.0, 3.0])
+        assert pearson(a, b) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pearson(np.ones(3), np.ones(4))
+
+
+class TestCorrelator:
+    def test_self_correlation_with_delay(self):
+        import random
+
+        rng = random.Random(4)
+        reference = []
+        t = 0.0
+        while t < 30.0:
+            t += rng.expovariate(20.0)
+            reference.append(t)
+        shifted = [x + 0.25 for x in reference]
+        correlator = PacketCountingCorrelator(
+            window=0.5, max_offset=1.0, offset_step=0.05
+        )
+        result = correlator.correlate(
+            reference, shifted, start=0.0, duration=30.0
+        )
+        assert result.correlation > 0.9
+        assert result.best_offset == pytest.approx(0.25, abs=0.1)
+        assert correlator.matches(result)
+
+    def test_unrelated_flows_do_not_match(self):
+        import random
+
+        def poisson_train(seed):
+            rng = random.Random(seed)
+            out, t = [], 0.0
+            while t < 30.0:
+                t += rng.expovariate(20.0)
+                out.append(t)
+            return out
+
+        correlator = PacketCountingCorrelator(window=0.5, threshold=0.5)
+        result = correlator.correlate(
+            poisson_train(1), poisson_train(2), start=0.0, duration=30.0
+        )
+        assert not correlator.matches(result)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PacketCountingCorrelator(window=0)
+        with pytest.raises(ValueError):
+            PacketCountingCorrelator(offset_step=0)
+
+    def test_legal_profile_needs_court_order(self):
+        assessment = PacketCountingCorrelator().assess()
+        assert assessment.required_process is ProcessKind.COURT_ORDER
+
+    def test_result_counts(self):
+        correlator = PacketCountingCorrelator(window=1.0, max_offset=0.0)
+        result = correlator.correlate(
+            [0.5, 1.5], [0.6], start=0.0, duration=2.0
+        )
+        assert result.n_reference == 2
+        assert result.n_candidate == 1

@@ -1,0 +1,58 @@
+"""Unit tests for the hash-search technique (Table 1 scene 18)."""
+
+from repro.core import ProcessKind
+from repro.storage import BlockDevice, KnownFileSet, SimpleFilesystem
+from repro.techniques.hash_search import HashSearchTechnique
+
+
+def build_drive():
+    fs = SimpleFilesystem(BlockDevice(n_blocks=128, block_size=64))
+    fs.write_file("innocent.txt", "grocery list")
+    fs.write_file("bad1.jpg", "contraband-one")
+    fs.write_file("bad2.jpg", "contraband-two")
+    fs.delete_file("bad2.jpg")
+    known = KnownFileSet.from_contents(["contraband-one", "contraband-two"])
+    return fs, known
+
+
+class TestSearch:
+    def test_finds_live_and_deleted_hits(self):
+        fs, known = build_drive()
+        report = HashSearchTechnique(known).run(fs)
+        names = {hit.file_name for hit in report.hits}
+        assert names == {"bad1.jpg", "(deleted) bad2.jpg"}
+        assert report.hit_count == 2
+        deleted_hits = [h for h in report.hits if h.recovered_deleted]
+        assert len(deleted_hits) == 1
+
+    def test_can_exclude_deleted(self):
+        fs, known = build_drive()
+        report = HashSearchTechnique(known).run(fs, include_deleted=False)
+        assert {hit.file_name for hit in report.hits} == {"bad1.jpg"}
+
+    def test_no_hits_on_clean_drive(self):
+        fs = SimpleFilesystem(BlockDevice(n_blocks=64, block_size=64))
+        fs.write_file("a.txt", "nothing to see")
+        report = HashSearchTechnique(KnownFileSet()).run(fs)
+        assert report.hit_count == 0
+        assert report.files_examined == 1
+
+    def test_hit_digests_verify(self):
+        from repro.storage import sha256_hex
+
+        fs, known = build_drive()
+        report = HashSearchTechnique(known).run(fs)
+        live_hit = next(h for h in report.hits if h.file_name == "bad1.jpg")
+        assert live_hit.digest == sha256_hex("contraband-one")
+
+
+class TestLegalProfile:
+    def test_requires_warrant_despite_custody(self):
+        __, known = build_drive()
+        technique = HashSearchTechnique(known)
+        assert technique.required_process() is ProcessKind.SEARCH_WARRANT
+
+    def test_action_carries_crist_flag(self):
+        __, known = build_drive()
+        action = HashSearchTechnique(known).required_actions()[0]
+        assert action.doctrine.hash_search_of_lawful_media

@@ -1,0 +1,139 @@
+"""Unit tests for the square-wave watermark and the adversary's test."""
+
+import pytest
+
+from repro.core import ProcessKind
+from repro.netsim.engine import Simulator
+from repro.techniques.interval_watermark import (
+    SquareWaveConfig,
+    SquareWaveTechnique,
+)
+from repro.techniques.traffic import PoissonFlow
+from repro.techniques.visibility import AutocorrelationVisibilityTest
+from repro.techniques.watermark import (
+    FlowWatermarker,
+    PnCode,
+    WatermarkConfig,
+)
+
+
+class Sink:
+    def __init__(self, sim):
+        self.sim = sim
+        self.arrivals = []
+
+    def send_downstream(self, size=512):
+        self.arrivals.append(self.sim.now)
+
+
+def embed_square(seed=1, **config_kwargs):
+    defaults = dict(period=4.0, n_periods=16, base_rate=20.0, amplitude=0.3)
+    defaults.update(config_kwargs)
+    config = SquareWaveConfig(**defaults)
+    technique = SquareWaveTechnique(config)
+    sim = Simulator()
+    sink = Sink(sim)
+    technique.watermarker(seed=seed).embed(sink, start=0.0)
+    sim.run()
+    return technique, sink.arrivals
+
+
+def embed_pn(seed=2):
+    code = PnCode.msequence(7)
+    config = WatermarkConfig(chip_duration=0.5, base_rate=20.0, amplitude=0.3)
+    sim = Simulator()
+    sink = Sink(sim)
+    FlowWatermarker(code, config, seed=seed).embed(sink, start=0.0)
+    sim.run()
+    return code, config, sink.arrivals
+
+
+def plain_poisson(duration=64.0, seed=3):
+    sim = Simulator()
+    sink = Sink(sim)
+    PoissonFlow(rate=20.0, seed=seed).schedule(sink, 0.0, duration)
+    sim.run()
+    return sink.arrivals
+
+
+class TestSquareWaveConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SquareWaveConfig(period=0)
+        with pytest.raises(ValueError):
+            SquareWaveConfig(n_periods=0)
+        with pytest.raises(ValueError):
+            SquareWaveConfig(amplitude=1.0)
+        with pytest.raises(ValueError):
+            SquareWaveConfig(base_rate=0)
+
+    def test_duration(self):
+        assert SquareWaveConfig(period=4.0, n_periods=8).duration == 32.0
+
+
+class TestSquareWaveDetection:
+    def test_owner_detects_watermark(self):
+        technique, arrivals = embed_square()
+        result = technique.detector().detect(arrivals, start=0.0)
+        assert result.detected
+        assert result.statistic > result.threshold
+
+    def test_no_false_positive_on_plain_traffic(self):
+        technique = SquareWaveTechnique()
+        result = technique.detector().detect(plain_poisson(), start=0.0)
+        assert not result.detected
+
+    def test_empty_arrivals(self):
+        technique = SquareWaveTechnique()
+        result = technique.detector().detect([], start=0.0)
+        assert not result.detected
+        assert result.statistic == 0.0
+
+    def test_legal_profile_matches_dsss(self):
+        assert (
+            SquareWaveTechnique().required_process()
+            is ProcessKind.COURT_ORDER
+        )
+
+
+class TestAdversaryVisibility:
+    """The reason the paper's cited attack uses a *long PN code*."""
+
+    def test_square_wave_is_visible(self):
+        technique, arrivals = embed_square()
+        adversary = AutocorrelationVisibilityTest(window=0.5, max_lag=64)
+        result = adversary.test(
+            arrivals, start=0.0, duration=technique.config.duration
+        )
+        assert result.watermark_suspected
+        assert result.statistic > result.threshold
+
+    def test_pn_watermark_stays_hidden(self):
+        code, config, arrivals = embed_pn()
+        adversary = AutocorrelationVisibilityTest(window=0.5, max_lag=64)
+        result = adversary.test(
+            arrivals, start=0.0, duration=len(code) * config.chip_duration
+        )
+        assert not result.watermark_suspected
+
+    def test_plain_traffic_not_flagged(self):
+        adversary = AutocorrelationVisibilityTest(window=0.5, max_lag=64)
+        result = adversary.test(plain_poisson(), start=0.0, duration=64.0)
+        assert not result.watermark_suspected
+
+    def test_degenerate_inputs(self):
+        adversary = AutocorrelationVisibilityTest(window=0.5)
+        result = adversary.test([], start=0.0, duration=10.0)
+        assert not result.watermark_suspected
+        assert result.statistic == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AutocorrelationVisibilityTest(window=0)
+        with pytest.raises(ValueError):
+            AutocorrelationVisibilityTest(max_lag=0)
+
+    def test_rate_series_shape(self):
+        adversary = AutocorrelationVisibilityTest(window=1.0)
+        series = adversary.rate_series([0.5, 1.5, 1.7], 0.0, 3.0)
+        assert list(series) == [1.0, 2.0, 0.0]

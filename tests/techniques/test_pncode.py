@@ -1,0 +1,96 @@
+"""Unit and property tests for PN spreading codes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.techniques.watermark import PnCode
+
+
+class TestMsequence:
+    @pytest.mark.parametrize("register_length", range(3, 13))
+    def test_length_is_2n_minus_1(self, register_length):
+        code = PnCode.msequence(register_length)
+        assert len(code) == 2**register_length - 1
+
+    @pytest.mark.parametrize("register_length", range(3, 11))
+    def test_balance_property(self, register_length):
+        # m-sequences have exactly one more +1 than -1.
+        assert PnCode.msequence(register_length).balance == 1
+
+    @pytest.mark.parametrize("register_length", [5, 7, 9])
+    def test_two_valued_autocorrelation(self, register_length):
+        code = PnCode.msequence(register_length)
+        assert code.autocorrelation(0) == len(code)
+        offpeak = {
+            code.autocorrelation(shift) for shift in range(1, len(code))
+        }
+        assert offpeak == {-1.0}
+
+    def test_unsupported_register_length(self):
+        with pytest.raises(ValueError, match="unsupported"):
+            PnCode.msequence(2)
+        with pytest.raises(ValueError, match="unsupported"):
+            PnCode.msequence(13)
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError, match="non-zero"):
+            PnCode.msequence(7, seed_state=0)
+
+    def test_seed_rotates_phase(self):
+        a = PnCode.msequence(7, seed_state=1)
+        b = PnCode.msequence(7, seed_state=2)
+        assert not np.array_equal(a.chips, b.chips)
+        # Same sequence, different phase: some circular shift matches.
+        matches = any(
+            np.array_equal(np.roll(a.chips, k), b.chips)
+            for k in range(len(a))
+        )
+        assert matches
+
+
+class TestRandomCode:
+    def test_length(self):
+        assert len(PnCode.random_code(100, seed=1)) == 100
+
+    def test_reproducible(self):
+        a = PnCode.random_code(64, seed=9)
+        b = PnCode.random_code(64, seed=9)
+        assert np.array_equal(a.chips, b.chips)
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            PnCode.random_code(0)
+
+
+class TestValidation:
+    def test_non_pm1_chips_rejected(self):
+        with pytest.raises(ValueError):
+            PnCode(np.array([1.0, 0.0, -1.0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PnCode(np.array([]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            PnCode(np.ones((2, 2)))
+
+
+@given(st.integers(min_value=3, max_value=10), st.integers(min_value=1))
+@settings(max_examples=40, deadline=None)
+def test_msequence_chips_always_pm1(register_length, seed_state):
+    mask = (1 << register_length) - 1
+    seed = (seed_state & mask) or 1
+    code = PnCode.msequence(register_length, seed_state=seed)
+    assert set(np.unique(code.chips)) <= {-1.0, 1.0}
+
+
+@given(st.integers(min_value=3, max_value=9))
+@settings(max_examples=20, deadline=None)
+def test_msequence_autocorrelation_peak_dominates(register_length):
+    code = PnCode.msequence(register_length)
+    peak = code.autocorrelation(0)
+    for shift in range(1, len(code)):
+        assert abs(code.autocorrelation(shift)) < peak

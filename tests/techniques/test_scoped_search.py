@@ -1,0 +1,111 @@
+"""Unit tests for the warrant-scoped search technique."""
+
+import pytest
+
+from repro.core import ProcessKind
+from repro.core.scope import ExaminedRecord, WarrantScope
+from repro.storage import BlockDevice, SimpleFilesystem
+from repro.techniques.scoped_search import ScopedSearchTechnique
+
+
+@pytest.fixture()
+def scope():
+    return WarrantScope(
+        place="suspect-pc",
+        crime="wire fraud",
+        categories=frozenset({"financial-records"}),
+    )
+
+
+RECORDS = [
+    ExaminedRecord("ledger.xlsx", "financial-records", "suspect-pc"),
+    ExaminedRecord("wires.csv", "financial-records", "suspect-pc"),
+    ExaminedRecord(
+        "cp.jpg", "photos", "suspect-pc", incriminating_apparent=True
+    ),
+    ExaminedRecord("diary.txt", "personal-notes", "suspect-pc"),
+    ExaminedRecord("backup.xlsx", "financial-records", "cloud-host"),
+]
+
+
+class TestRun:
+    def test_partition(self, scope):
+        report = ScopedSearchTechnique(scope).run(RECORDS)
+        assert {r.name for r in report.seized_in_scope} == {
+            "ledger.xlsx",
+            "wires.csv",
+        }
+        assert {r.name for r in report.seized_plain_view} == {"cp.jpg"}
+        assert {r.name for r in report.left_untouched} == {
+            "diary.txt",
+            "backup.xlsx",
+        }
+        assert report.total_examined == 5
+        assert report.over_seizure_count == 2
+
+    def test_multi_location_warning(self, scope):
+        report = ScopedSearchTechnique(scope).run(RECORDS)
+        assert report.locations_needing_warrants == frozenset(
+            {"cloud-host"}
+        )
+
+    def test_empty_records(self, scope):
+        report = ScopedSearchTechnique(scope).run([])
+        assert report.total_examined == 0
+        assert report.locations_needing_warrants == frozenset()
+
+
+class TestFilesystemRun:
+    def test_categorizer_driven(self, scope):
+        fs = SimpleFilesystem(BlockDevice(n_blocks=64, block_size=32))
+        fs.write_file("q3-ledger.xlsx", "numbers")
+        fs.write_file("notes.txt", "musings")
+        fs.write_file("cp.jpg", "JPEG[bad]GEPJ")
+        fs.delete_file("cp.jpg")
+
+        def categorize(name, data):
+            if "ledger" in name:
+                category = "financial-records"
+            elif name.endswith(".jpg") or "jpg" in name:
+                category = "photos"
+            else:
+                category = "personal-notes"
+            return ExaminedRecord(
+                name=name,
+                category=category,
+                location="suspect-pc",
+                incriminating_apparent=b"JPEG[bad" in data,
+            )
+
+        report = ScopedSearchTechnique(scope).run_on_filesystem(
+            fs, categorize
+        )
+        assert {r.name for r in report.seized_in_scope} == {
+            "q3-ledger.xlsx"
+        }
+        # The deleted contraband is recoverable and facially incriminating.
+        assert {r.name for r in report.seized_plain_view} == {
+            "(deleted) cp.jpg"
+        }
+        assert {r.name for r in report.left_untouched} == {"notes.txt"}
+
+    def test_location_override(self, scope):
+        fs = SimpleFilesystem(BlockDevice(n_blocks=32, block_size=32))
+        fs.write_file("ledger.xlsx", "numbers")
+
+        def categorize(name, data):
+            return ExaminedRecord(name, "financial-records", "elsewhere")
+
+        report = ScopedSearchTechnique(scope).run_on_filesystem(
+            fs, categorize, location="suspect-pc"
+        )
+        assert len(report.seized_in_scope) == 1
+
+
+class TestLegalProfile:
+    def test_scoped_search_runs_under_its_warrant(self, scope):
+        technique = ScopedSearchTechnique(scope)
+        assert technique.required_process() is ProcessKind.SEARCH_WARRANT
+        action = technique.required_actions()[0]
+        assert "wire fraud" in action.description
+        assert "financial-records" in action.description

@@ -1,0 +1,98 @@
+"""Unit tests for the OneSwarm-style timing attack."""
+
+import pytest
+
+from repro.anonymity.p2p import P2POverlay
+from repro.core import Feasibility, ProcessKind
+from repro.techniques.timing_attack import (
+    AttackMetrics,
+    OneSwarmTimingAttack,
+)
+
+
+def build_overlay():
+    overlay = P2POverlay(seed=13)
+    overlay.add_peer("le")
+    overlay.add_peer("direct-source", files={"f"})
+    overlay.add_peer("forwarder")
+    overlay.add_peer("hidden-source", files={"f"})
+    overlay.befriend("le", "direct-source", latency=0.02)
+    overlay.befriend("le", "forwarder", latency=0.02)
+    overlay.befriend("forwarder", "hidden-source", latency=0.02)
+    return overlay
+
+
+class TestClassification:
+    def test_identifies_direct_source(self):
+        overlay = build_overlay()
+        attack = OneSwarmTimingAttack()
+        result = attack.investigate(overlay, "le", "f", trials=10)
+        assert result.identified_sources() == ["direct-source"]
+
+    def test_forwarder_not_misclassified(self):
+        overlay = build_overlay()
+        attack = OneSwarmTimingAttack()
+        result = attack.investigate(overlay, "le", "f", trials=10)
+        forwarder = next(
+            a for a in result.assessments if a.name == "forwarder"
+        )
+        assert not forwarder.classified_source
+        assert forwarder.excess_delay > attack.excess_threshold
+
+    def test_assessments_carry_measurements(self):
+        overlay = build_overlay()
+        result = OneSwarmTimingAttack().investigate(
+            overlay, "le", "f", trials=5
+        )
+        for assessment in result.assessments:
+            assert assessment.n_responses > 0
+            assert assessment.median_response_time > 0
+            assert assessment.ping_rtt > 0
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            OneSwarmTimingAttack(excess_threshold=0)
+
+    def test_unknown_investigator_rejected(self):
+        overlay = build_overlay()
+        with pytest.raises(KeyError):
+            OneSwarmTimingAttack().investigate(overlay, "ghost", "f")
+
+
+class TestScoring:
+    def test_perfect_run_scores_one(self):
+        overlay = build_overlay()
+        attack = OneSwarmTimingAttack()
+        result = attack.investigate(overlay, "le", "f", trials=10)
+        metrics = attack.score(result, overlay)
+        assert metrics.precision == 1.0
+        assert metrics.recall == 1.0
+        assert metrics.f1 == 1.0
+
+    def test_metrics_math(self):
+        metrics = AttackMetrics(
+            true_positives=3,
+            false_positives=1,
+            false_negatives=1,
+            true_negatives=5,
+        )
+        assert metrics.precision == pytest.approx(0.75)
+        assert metrics.recall == pytest.approx(0.75)
+        assert metrics.f1 == pytest.approx(0.75)
+
+    def test_empty_metrics_degenerate(self):
+        metrics = AttackMetrics(0, 0, 0, 0)
+        assert metrics.precision == 1.0
+        assert metrics.recall == 1.0
+        assert metrics.f1 == 1.0
+
+
+class TestLegalProfile:
+    def test_workable_without_process(self):
+        assessment = OneSwarmTimingAttack().assess()
+        assert assessment.feasibility is Feasibility.WORKABLE_WITHOUT_PROCESS
+        assert assessment.required_process is ProcessKind.NONE
+
+    def test_recommendation_mentions_traceback(self):
+        assessment = OneSwarmTimingAttack().assess()
+        assert "traceback" in assessment.recommendation

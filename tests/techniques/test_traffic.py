@@ -1,0 +1,85 @@
+"""Unit tests for the background traffic generators."""
+
+import pytest
+
+from repro.netsim.engine import Simulator
+from repro.techniques.traffic import OnOffFlow, PoissonFlow
+
+
+class Sink:
+    def __init__(self, sim):
+        self.sim = sim
+        self.arrivals = []
+
+    def send_downstream(self, size=512):
+        self.arrivals.append(self.sim.now)
+
+
+class TestPoissonFlow:
+    def test_rate_statistics(self):
+        sim = Simulator()
+        sink = Sink(sim)
+        count = PoissonFlow(rate=50.0, seed=1).schedule(
+            sink, start=0.0, duration=100.0
+        )
+        sim.run()
+        assert len(sink.arrivals) == count
+        # mean 5000, std ~71: a wide tolerance keeps this robust.
+        assert 4500 < count < 5500
+
+    def test_all_arrivals_in_window(self):
+        sim = Simulator()
+        sink = Sink(sim)
+        PoissonFlow(rate=30.0, seed=2).schedule(
+            sink, start=5.0, duration=10.0
+        )
+        sim.run()
+        assert all(5.0 <= t <= 15.0 for t in sink.arrivals)
+
+    def test_reproducible(self):
+        def run(seed):
+            sim = Simulator()
+            sink = Sink(sim)
+            PoissonFlow(rate=20.0, seed=seed).schedule(sink, 0.0, 10.0)
+            sim.run()
+            return sink.arrivals
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonFlow(rate=0)
+
+
+class TestOnOffFlow:
+    def test_produces_bursts(self):
+        sim = Simulator()
+        sink = Sink(sim)
+        OnOffFlow(rate=100.0, mean_on=1.0, mean_off=1.0, seed=3).schedule(
+            sink, start=0.0, duration=60.0
+        )
+        sim.run()
+        # Roughly half the time is ON: expect ~3000 +/- wide margin.
+        assert 1000 < len(sink.arrivals) < 5000
+
+    def test_off_periods_exist(self):
+        sim = Simulator()
+        sink = Sink(sim)
+        OnOffFlow(rate=200.0, mean_on=0.5, mean_off=2.0, seed=4).schedule(
+            sink, start=0.0, duration=60.0
+        )
+        sim.run()
+        gaps = [
+            b - a for a, b in zip(sink.arrivals, sink.arrivals[1:])
+        ]
+        # During OFF periods the inter-arrival gap far exceeds 1/rate.
+        assert max(gaps) > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnOffFlow(rate=0)
+        with pytest.raises(ValueError):
+            OnOffFlow(rate=1.0, mean_on=0)
+        with pytest.raises(ValueError):
+            OnOffFlow(rate=1.0, mean_off=-1)

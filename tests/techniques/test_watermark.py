@@ -1,0 +1,169 @@
+"""Unit tests for watermark embedding and detection."""
+
+import pytest
+
+from repro.core import Feasibility, ProcessKind
+from repro.netsim.engine import Simulator
+from repro.techniques.watermark import (
+    DsssWatermarkTechnique,
+    FlowWatermarker,
+    PnCode,
+    WatermarkConfig,
+    WatermarkDetector,
+)
+
+
+class DirectChannel:
+    """A channel with zero network between the two ends."""
+
+    def __init__(self, sim: Simulator, delay: float = 0.0) -> None:
+        self.sim = sim
+        self.delay = delay
+        self.arrivals: list[float] = []
+
+    def send_downstream(self, size: int = 512) -> None:
+        self.sim.schedule(
+            self.delay, lambda: self.arrivals.append(self.sim.now)
+        )
+
+
+class TestConfigValidation:
+    def test_bad_chip_duration(self):
+        with pytest.raises(ValueError):
+            WatermarkConfig(chip_duration=0)
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            WatermarkConfig(base_rate=-1)
+
+    @pytest.mark.parametrize("amplitude", [0.0, 1.0, 1.5])
+    def test_bad_amplitude(self, amplitude):
+        with pytest.raises(ValueError):
+            WatermarkConfig(amplitude=amplitude)
+
+    def test_threshold_scales_with_code_length(self):
+        config = WatermarkConfig(threshold_sigmas=4.0)
+        assert config.threshold(127) > config.threshold(1023)
+
+
+class TestEmbedding:
+    def test_packet_count_near_expectation(self):
+        sim = Simulator()
+        channel = DirectChannel(sim)
+        code = PnCode.msequence(7)
+        config = WatermarkConfig(
+            chip_duration=0.5, base_rate=20.0, amplitude=0.3
+        )
+        watermarker = FlowWatermarker(code, config, seed=1)
+        count = watermarker.embed(channel, start=0.0)
+        expected = config.base_rate * watermarker.duration
+        assert 0.8 * expected < count < 1.2 * expected
+
+    def test_duration(self):
+        code = PnCode.msequence(6)  # 63 chips
+        config = WatermarkConfig(chip_duration=0.5)
+        watermarker = FlowWatermarker(code, config)
+        assert watermarker.duration == pytest.approx(31.5)
+
+    def test_rate_modulation_visible_per_chip(self):
+        sim = Simulator()
+        channel = DirectChannel(sim)
+        code = PnCode.msequence(5)  # short, 31 chips
+        config = WatermarkConfig(
+            chip_duration=2.0, base_rate=50.0, amplitude=0.5
+        )
+        FlowWatermarker(code, config, seed=2).embed(channel, start=0.0)
+        sim.run()
+        # Count packets in +1 chips vs -1 chips.
+        high = low = 0
+        for t in channel.arrivals:
+            chip = code.chips[int(t / config.chip_duration)]
+            if chip > 0:
+                high += 1
+            else:
+                low += 1
+        n_high_chips = int((code.chips > 0).sum())
+        n_low_chips = len(code) - n_high_chips
+        assert high / n_high_chips > 1.5 * (low / n_low_chips)
+
+
+class TestDetection:
+    def make_clean_run(self, delay=0.0, seed=3):
+        sim = Simulator()
+        channel = DirectChannel(sim, delay=delay)
+        code = PnCode.msequence(7)
+        config = WatermarkConfig(
+            chip_duration=0.5, base_rate=20.0, amplitude=0.3
+        )
+        FlowWatermarker(code, config, seed=seed).embed(channel, start=1.0)
+        sim.run()
+        return channel, code, config
+
+    def test_detects_on_clean_channel(self):
+        channel, code, config = self.make_clean_run()
+        detector = WatermarkDetector(code, config)
+        result = detector.detect(channel.arrivals, start=1.0)
+        assert result.detected
+        assert result.correlation > 0.5
+        assert result.n_packets == len(channel.arrivals)
+
+    def test_offset_search_recovers_delay(self):
+        channel, code, config = self.make_clean_run(delay=0.3)
+        detector = WatermarkDetector(code, config)
+        result = detector.detect(
+            channel.arrivals, start=1.0, max_offset=1.0, offset_step=0.05
+        )
+        assert result.detected
+        assert result.best_offset == pytest.approx(0.3, abs=0.1)
+
+    def test_no_false_positive_on_poisson_traffic(self):
+        import random
+
+        rng = random.Random(8)
+        code = PnCode.msequence(7)
+        config = WatermarkConfig(
+            chip_duration=0.5, base_rate=20.0, amplitude=0.3
+        )
+        duration = len(code) * config.chip_duration
+        arrivals = []
+        t = 0.0
+        while t < duration:
+            t += rng.expovariate(config.base_rate)
+            arrivals.append(t)
+        detector = WatermarkDetector(code, config)
+        result = detector.detect(arrivals, start=0.0)
+        assert not result.detected
+
+    def test_empty_arrivals_scores_zero(self):
+        code = PnCode.msequence(7)
+        config = WatermarkConfig()
+        detector = WatermarkDetector(code, config)
+        result = detector.detect([], start=0.0)
+        assert result.correlation == 0.0
+        assert not result.detected
+
+    def test_wrong_code_does_not_detect(self):
+        channel, code, config = self.make_clean_run()
+        other = PnCode.msequence(7, seed_state=5)  # different phase
+        detector = WatermarkDetector(other, config)
+        result = detector.detect(
+            channel.arrivals, start=1.0, max_offset=0.2
+        )
+        assert result.correlation < 0.3
+
+
+class TestTechniqueLegalProfile:
+    def test_requires_court_order(self):
+        assessment = DsssWatermarkTechnique().assess()
+        assert assessment.required_process is ProcessKind.COURT_ORDER
+        assert assessment.feasibility is Feasibility.WORKABLE_WITH_PROCESS
+
+    def test_private_search_variant_viable(self):
+        # Section IV.B situation two: campus gateways.
+        assert DsssWatermarkTechnique().assess().private_search_viable
+
+    def test_default_construction(self):
+        technique = DsssWatermarkTechnique()
+        assert len(technique.code) == 127
+        assert technique.detector().code is technique.code
+        assert technique.watermarker().config is technique.config

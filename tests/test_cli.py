@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTable1:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "agreement: 20/20" in out
+
+
+class TestScene:
+    def test_known_scene(self, capsys):
+        assert main(["scene", "18"]) == 0
+        out = capsys.readouterr().out
+        assert "Scene 18" in out
+        assert "search warrant" in out
+
+    def test_unknown_scene(self, capsys):
+        assert main(["scene", "42"]) == 1
+        assert "no scene 42" in capsys.readouterr().out
+
+
+class TestAssess:
+    @pytest.mark.parametrize(
+        "technique,expected",
+        [
+            ("timing", "workable without process"),
+            ("watermark", "court order"),
+            ("hash-search", "search warrant"),
+            ("mining", "no process"),
+            ("credentials", "no process"),
+            ("square-wave", "court order"),
+            ("correlation", "court order"),
+        ],
+    )
+    def test_each_technique(self, capsys, technique, expected):
+        assert main(["assess", technique]) == 0
+        assert expected in capsys.readouterr().out
+
+    def test_unknown_technique(self, capsys):
+        assert main(["assess", "teleportation"]) == 1
+        assert "unknown technique" in capsys.readouterr().out
+
+
+class TestStoryline:
+    def test_ip_storyline(self, capsys):
+        assert main(["storyline", "ip"]) == 0
+        out = capsys.readouterr().out
+        assert "SUCCESS" in out
+
+    def test_crist_storyline_fails(self, capsys):
+        assert main(["storyline", "ip-crist"]) == 0
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_wm2_storyline(self, capsys):
+        assert main(["storyline", "wm2"]) == 0
+        assert "SUCCESS" in capsys.readouterr().out
+
+    def test_unknown_storyline(self, capsys):
+        assert main(["storyline", "heist"]) == 1
+        assert "unknown storyline" in capsys.readouterr().out
+
+
+class TestReference:
+    def test_reference_renders(self, capsys):
+        assert main(["reference"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Scene ") == 20
+        assert "authorities:" in out
+
+
+class TestCurve:
+    def test_curve_renders(self, capsys):
+        assert main(["curve", "--cases", "40", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "p=1.00: 100.0%" in out
+        assert "p=0.00" in out
+
+
+class TestAuthorities:
+    def test_listing(self, capsys):
+        assert main(["authorities"]) == 0
+        out = capsys.readouterr().out
+        assert "katz" in out
+        assert "Katz v. United States" in out
+
+    def test_verbose_includes_holdings(self, capsys):
+        assert main(["authorities", "-v"]) == 0
+        assert "reasonable expectation of privacy" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

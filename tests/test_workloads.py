@@ -1,0 +1,54 @@
+"""Tests for the synthetic workload generators."""
+
+from repro.core import ProcessKind
+from repro.workloads import (
+    action_corpus,
+    labeled_corpus,
+    process_distribution,
+)
+
+
+class TestActionCorpus:
+    def test_deterministic(self):
+        a = action_corpus(50, seed=5)
+        b = action_corpus(50, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert action_corpus(50, seed=5) != action_corpus(50, seed=6)
+
+    def test_size(self):
+        assert len(action_corpus(123, seed=1)) == 123
+
+    def test_actions_are_valid(self):
+        from repro.core import ComplianceEngine
+
+        engine = ComplianceEngine()
+        for action in action_corpus(200, seed=7):
+            ruling = engine.evaluate(action)  # must not raise
+            assert ruling.required_process in ProcessKind
+
+
+class TestLabeledCorpus:
+    def test_labels_match_engine(self):
+        from repro.core import ComplianceEngine
+
+        engine = ComplianceEngine()
+        for item in labeled_corpus(100, seed=3):
+            assert (
+                engine.evaluate(item.action).required_process
+                is item.required_process
+            )
+            assert item.needs_process == (
+                item.required_process is not ProcessKind.NONE
+            )
+
+    def test_distribution_sums(self):
+        corpus = labeled_corpus(300, seed=11)
+        distribution = process_distribution(corpus)
+        assert sum(distribution.values()) == 300
+
+    def test_large_corpus_covers_the_ladder(self):
+        corpus = labeled_corpus(2000, seed=99)
+        distribution = process_distribution(corpus)
+        assert all(distribution[kind] > 0 for kind in ProcessKind)
