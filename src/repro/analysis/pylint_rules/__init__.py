@@ -1,0 +1,30 @@
+"""The AST lint-rule plugin package.
+
+Importing this package populates the rule registry: each rule module
+self-registers via :func:`~repro.analysis.pylint_rules.base.register`.
+To add a rule, create a module here with a registered
+:class:`~repro.analysis.pylint_rules.base.LintRule` subclass and import
+it below.
+"""
+
+from repro.analysis.pylint_rules import (  # noqa: F401  (registration)
+    determinism,
+    empty_iterable,
+    enum_dispatch,
+    mutable_defaults,
+    scenario_answers,
+    technique_contract,
+)
+from repro.analysis.pylint_rules.base import (
+    LintRule,
+    ModuleUnderLint,
+    all_rules,
+    register,
+)
+
+__all__ = [
+    "LintRule",
+    "ModuleUnderLint",
+    "all_rules",
+    "register",
+]

@@ -1,0 +1,86 @@
+"""The lint runner: parse files, apply every registered rule.
+
+The runner is filesystem-aware so the rules never have to be: it finds
+Python files, parses them once, asks each registered rule whether it
+applies, and collects diagnostics in a stable (path, line, code) order.
+A file that fails to parse yields a single ``REPRO100`` diagnostic
+rather than crashing the run.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import repro
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.pylint_rules import ModuleUnderLint, all_rules
+from repro.analysis.pylint_rules.base import LintRule
+
+
+def default_lint_root() -> Path:
+    """The installed ``repro`` package — what ``repro lint`` checks."""
+    return Path(repro.__file__).resolve().parent
+
+
+def iter_python_files(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            found.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            found.add(path)
+    return sorted(found)
+
+
+def lint_file(
+    path: Path, rules: tuple[LintRule, ...] | None = None
+) -> list[Diagnostic]:
+    """Run every applicable rule over one file."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as error:
+        return [
+            Diagnostic(
+                severity=Severity.ERROR,
+                code="REPRO100",
+                message=f"cannot read file: {error.strerror or error}",
+                path=str(path),
+            )
+        ]
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return [
+            Diagnostic(
+                severity=Severity.ERROR,
+                code="REPRO100",
+                message=f"syntax error: {error.msg}",
+                path=str(path),
+                line=error.lineno,
+            )
+        ]
+    module = ModuleUnderLint(
+        path=str(path), tree=tree, source=source
+    )
+    diagnostics: list[Diagnostic] = []
+    for rule in rules if rules is not None else all_rules():
+        if rule.applies_to(module):
+            diagnostics.extend(rule.check(module))
+    return diagnostics
+
+
+def lint_paths(
+    paths: list[Path] | None = None,
+    rules: tuple[LintRule, ...] | None = None,
+) -> list[Diagnostic]:
+    """Lint files/directories; defaults to the whole ``repro`` package."""
+    targets = paths if paths else [default_lint_root()]
+    diagnostics: list[Diagnostic] = []
+    for path in iter_python_files(targets):
+        diagnostics.extend(lint_file(path, rules))
+    diagnostics.sort(
+        key=lambda d: (d.path or "", d.line or 0, d.code)
+    )
+    return diagnostics

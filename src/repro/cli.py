@@ -7,6 +7,8 @@ Usage::
     python -m repro assess watermark      # Section IV advisor verdict
     python -m repro storyline ip          # run a full storyline
     python -m repro authorities           # list the citation registry
+    python -m repro lint                  # AST-lint the repo's invariants
+    python -m repro analyze-plan table1   # static plan analysis
 """
 
 from __future__ import annotations
@@ -151,6 +153,100 @@ def _cmd_authorities(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import has_errors, lint_paths, render_report
+    from repro.analysis.pylint_rules import all_rules
+
+    if args.rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name:28s} {rule.description}")
+        return 0
+    paths = [Path(p) for p in args.paths] if args.paths else None
+    diagnostics = lint_paths(paths)
+    print(render_report(diagnostics))
+    return 1 if has_errors(diagnostics) else 0
+
+
+_PROCESS_FLAGS = {
+    "subpoena": "SUBPOENA",
+    "court-order": "COURT_ORDER",
+    "warrant": "SEARCH_WARRANT",
+    "wiretap": "WIRETAP_ORDER",
+}
+
+
+def _cmd_analyze_plan(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        DEMO_PLANS,
+        PlanAnalyzer,
+        plan_from_scenario,
+        plan_from_scene_number,
+        plan_from_technique,
+    )
+    from repro.core.enums import ProcessKind
+
+    analyzer = PlanAnalyzer(ComplianceEngine())
+    instruments: tuple[ProcessKind, ...] = tuple(
+        ProcessKind[_PROCESS_FLAGS[flag]] for flag in args.with_process
+    )
+
+    if args.target == "table1":
+        mismatches = 0
+        for scenario in build_table1():
+            report = analyzer.analyze(plan_from_scenario(scenario))
+            engine_answer = (
+                "Need" if report.required_process is not ProcessKind.NONE
+                else "No need"
+            )
+            agrees = engine_answer in scenario.paper_answer
+            mismatches += not agrees
+            mark = "ok" if agrees else "MISMATCH"
+            print(
+                f"scene {scenario.number:2d}: requires "
+                f"{report.required_process.display_name:24s} "
+                f"paper: {scenario.paper_answer:12s} {mark}"
+            )
+        print(
+            f"{20 - mismatches}/20 scenes reproduce the paper's answer "
+            "statically"
+        )
+        return 1 if mismatches else 0
+
+    if args.target.isdigit():
+        try:
+            plan = plan_from_scene_number(int(args.target), instruments)
+        except KeyError:
+            print(f"no Table 1 scene {args.target}; scenes are 1-20")
+            return 1
+    elif args.target in DEMO_PLANS:
+        plan = DEMO_PLANS[args.target]()
+        if instruments:
+            import dataclasses
+
+            plan = dataclasses.replace(plan, instruments=instruments)
+    else:
+        factories = _technique_factories()
+        factory = factories.get(args.target)
+        if factory is None:
+            choices = (
+                ["table1", "<scene number 1-20>"]
+                + sorted(DEMO_PLANS)
+                + sorted(factories)
+            )
+            print(
+                "unknown plan target; choose from: "
+                + ", ".join(choices)
+            )
+            return 1
+        plan = plan_from_technique(factory(), instruments)
+
+    report = analyzer.analyze(plan)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -208,6 +304,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     curve.add_argument("--seed", type=int, default=9, help="RNG seed")
     curve.set_defaults(func=_cmd_curve)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the AST invariant linter over the codebase",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: the repro package)",
+    )
+    lint.add_argument(
+        "--rules",
+        action="store_true",
+        help="list the registered lint rules and exit",
+    )
+    lint.set_defaults(func=_cmd_lint)
+
+    analyze_plan = subparsers.add_parser(
+        "analyze-plan",
+        help="statically analyze an investigation plan (no netsim)",
+    )
+    analyze_plan.add_argument(
+        "target",
+        help=(
+            "table1 | a scene number (1-20) | a technique name | "
+            "tainted-downstream | forfeited-consent"
+        ),
+    )
+    analyze_plan.add_argument(
+        "--with-process",
+        action="append",
+        default=[],
+        choices=sorted(_PROCESS_FLAGS),
+        help="declare an instrument the plan will hold (repeatable)",
+    )
+    analyze_plan.set_defaults(func=_cmd_analyze_plan)
 
     authorities = subparsers.add_parser(
         "authorities", help="list the citation registry"

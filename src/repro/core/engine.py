@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from repro.core.action import InvestigativeAction
 from repro.core.caselaw import AuthorityRegistry, build_default_registry
-from repro.core.enums import ProcessKind
+from repro.core.enums import LegalSource, ProcessKind
 from repro.core.exceptions import gather_exceptions
 from repro.core.privacy import analyze_privacy
 from repro.core.ruling import (
@@ -67,7 +67,9 @@ class ComplianceEngine:
         exceptions = list(gather_exceptions(action))
         exceptions.extend(self._statutory_exceptions(action))
 
-        eliminated = frozenset().union(*(e.eliminates for e in exceptions)) if exceptions else frozenset()
+        eliminated: frozenset[LegalSource] = frozenset()
+        for exception in exceptions:
+            eliminated = eliminated | exception.eliminates
         surviving = [r for r in requirements if r.source not in eliminated]
 
         required_process = max(

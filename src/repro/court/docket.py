@@ -16,8 +16,10 @@ from repro.core.enums import ProcessKind
 _instrument_ids = itertools.count(1)
 
 #: Default validity windows, in simulated seconds.  Warrants are
-#: deliberately the shortest-lived; subpoenas the longest.
+#: deliberately the shortest-lived; subpoenas the longest.  "No
+#: process" is never issued as an instrument, so its window is empty.
 DEFAULT_VALIDITY: dict[ProcessKind, float] = {
+    ProcessKind.NONE: 0.0,
     ProcessKind.SUBPOENA: 90 * 86400.0,
     ProcessKind.COURT_ORDER: 60 * 86400.0,
     ProcessKind.SEARCH_WARRANT: 14 * 86400.0,

@@ -49,10 +49,20 @@ class SceneOutcome:
 
 
 class InvestigationPipeline:
-    """Runs Table 1 scenes end to end, complying or not."""
+    """Runs Table 1 scenes end to end, complying or not.
 
-    def __init__(self, engine: ComplianceEngine | None = None) -> None:
+    One :class:`~repro.court.magistrate.Magistrate` serves the whole
+    pipeline, so the docket accumulates applications and instruments
+    across scenes instead of being re-allocated per scene.
+    """
+
+    def __init__(
+        self,
+        engine: ComplianceEngine | None = None,
+        magistrate: Magistrate | None = None,
+    ) -> None:
         self.engine = engine or ComplianceEngine()
+        self.magistrate = magistrate or Magistrate()
         self.hearing = SuppressionHearing(self.engine)
 
     def run_scene(
@@ -75,10 +85,9 @@ class InvestigationPipeline:
             The complete :class:`SceneOutcome`.
         """
         ruling = self.engine.evaluate(scenario.action)
-        magistrate = Magistrate()
         investigator = Investigator(
             f"officer-scene-{scenario.number}",
-            magistrate=magistrate,
+            magistrate=self.magistrate,
             engine=self.engine,
         )
 

@@ -38,9 +38,16 @@ class Technique(abc.ABC):
     def required_process(
         self, engine: ComplianceEngine | None = None
     ) -> ProcessKind:
-        """The strongest process any of this technique's actions needs."""
+        """The strongest process any of this technique's actions needs.
+
+        A technique that declares no acquisitions touches nothing and
+        therefore needs no process at all.
+        """
         engine = engine or ComplianceEngine()
         return max(
-            engine.evaluate(action).required_process
-            for action in self.required_actions()
+            (
+                engine.evaluate(action).required_process
+                for action in self.required_actions()
+            ),
+            default=ProcessKind.NONE,
         )

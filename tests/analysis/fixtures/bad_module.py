@@ -1,0 +1,31 @@
+"""Deliberately broken module the linter must reject.
+
+Every construct below violates one of the seed lint rules; the CLI test
+asserts ``repro lint`` exits nonzero on this file.  Never import this
+module.
+"""
+
+
+class Technique:  # stand-in base so the subclass below parses alone
+    pass
+
+
+class NamelessTechnique(Technique):  # REPRO101: no name, no actions
+    def run(self):
+        return None
+
+
+PARTIAL_TABLE = {  # REPRO105: misses SEARCH_WARRANT and WIRETAP_ORDER
+    ProcessKind.NONE: "nothing",  # noqa: F821
+    ProcessKind.SUBPOENA: "subpoena",  # noqa: F821
+    ProcessKind.COURT_ORDER: "court order",  # noqa: F821
+}
+
+
+def strongest(values):  # REPRO104: no default=, no emptiness guard
+    return max(values)
+
+
+def accumulate(item, seen=[]):  # REPRO106: mutable default
+    seen.append(item)
+    return seen

@@ -1,0 +1,57 @@
+"""CLI surface of the static analyzer: exit codes and output shape."""
+
+import pathlib
+
+from repro.cli import main
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+class TestLintCommand:
+    def test_lints_clean_on_the_repo(self, capsys):
+        assert main(["lint"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_nonzero_on_seeded_violations(self, capsys):
+        bad = str(FIXTURES / "bad_module.py")
+        assert main(["lint", bad]) == 1
+        out = capsys.readouterr().out
+        assert "REPRO101" in out  # nameless technique
+        assert "REPRO104" in out  # bare max()
+        assert "REPRO105" in out  # partial enum dict
+        assert "REPRO106" in out  # mutable default
+
+    def test_rules_listing(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("REPRO101", "REPRO106"):
+            assert code in out
+
+
+class TestAnalyzePlanCommand:
+    def test_table1_reproduces_statically(self, capsys):
+        assert main(["analyze-plan", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "20/20 scenes reproduce the paper's answer" in out
+
+    def test_scene_with_declared_process_passes(self, capsys):
+        assert (
+            main(["analyze-plan", "18", "--with-process", "warrant"]) == 0
+        )
+        assert "no findings" in capsys.readouterr().out
+
+    def test_tainted_demo_fails_with_fruit_finding(self, capsys):
+        assert main(["analyze-plan", "tainted-downstream"]) == 1
+        out = capsys.readouterr().out
+        assert "PLAN003" in out
+        assert "fruit of the poisonous tree" in out
+
+    def test_technique_target(self, capsys):
+        assert main(["analyze-plan", "watermark"]) == 1
+        out = capsys.readouterr().out
+        assert "PLAN001" in out
+        assert "fix: obtain a" in out
+
+    def test_unknown_target_lists_choices(self, capsys):
+        assert main(["analyze-plan", "no-such-plan"]) == 1
+        assert "choose from" in capsys.readouterr().out

@@ -1,0 +1,247 @@
+"""Per-rule unit tests: one positive and one negative fixture each."""
+
+import ast
+
+import pytest
+
+from repro.analysis.pylint_rules import ModuleUnderLint, all_rules
+from repro.analysis.pylint_rules.determinism import DeterminismRule
+from repro.analysis.pylint_rules.empty_iterable import (
+    EmptyIterableExtremumRule,
+)
+from repro.analysis.pylint_rules.enum_dispatch import EnumDispatchRule
+from repro.analysis.pylint_rules.mutable_defaults import MutableDefaultRule
+from repro.analysis.pylint_rules.scenario_answers import ScenarioAnswerRule
+from repro.analysis.pylint_rules.technique_contract import (
+    TechniqueContractRule,
+)
+
+
+def module(source: str, path: str = "src/repro/example.py"):
+    return ModuleUnderLint(
+        path=path, tree=ast.parse(source), source=source
+    )
+
+
+def findings(rule, source: str, path: str = "src/repro/example.py"):
+    mod = module(source, path)
+    if not rule.applies_to(mod):
+        return []
+    return list(rule.check(mod))
+
+
+class TestRegistry:
+    def test_all_six_seed_rules_registered(self):
+        codes = [rule.code for rule in all_rules()]
+        assert codes == sorted(codes)
+        assert {
+            "REPRO101",
+            "REPRO102",
+            "REPRO103",
+            "REPRO104",
+            "REPRO105",
+            "REPRO106",
+        } <= set(codes)
+
+
+class TestTechniqueContract:
+    def test_flags_subclass_missing_both(self):
+        source = (
+            "class Bad(Technique):\n"
+            "    def run(self):\n"
+            "        pass\n"
+        )
+        found = findings(TechniqueContractRule(), source)
+        assert len(found) == 2
+        assert all(f.code == "REPRO101" for f in found)
+
+    def test_accepts_complete_subclass(self):
+        source = (
+            "class Good(Technique):\n"
+            "    name = 'good'\n"
+            "    def required_actions(self):\n"
+            "        return []\n"
+        )
+        assert findings(TechniqueContractRule(), source) == []
+
+    def test_ignores_abstract_subclass(self):
+        source = (
+            "import abc\n"
+            "class Mid(Technique):\n"
+            "    @abc.abstractmethod\n"
+            "    def required_actions(self):\n"
+            "        ...\n"
+        )
+        assert findings(TechniqueContractRule(), source) == []
+
+    def test_ignores_unrelated_classes(self):
+        assert findings(TechniqueContractRule(), "class Foo:\n    pass\n") == []
+
+
+class TestScenarioAnswer:
+    CATALOGUE = "src/repro/core/scenarios.py"
+
+    def test_flags_scenario_without_answer(self):
+        source = "s = Scenario(number=1, action=a)\n"
+        found = findings(ScenarioAnswerRule(), source, self.CATALOGUE)
+        assert [f.code for f in found] == ["REPRO102"]
+
+    def test_accepts_scenario_with_answer(self):
+        source = (
+            "s = Scenario(number=1, action=a, paper_needs_process=True)\n"
+        )
+        assert findings(ScenarioAnswerRule(), source, self.CATALOGUE) == []
+
+    def test_flags_extended_scene_without_expectation(self):
+        source = "s = ExtendedScene(scene_id='E1', action=a)\n"
+        found = findings(
+            ScenarioAnswerRule(),
+            source,
+            "src/repro/core/extended_scenarios.py",
+        )
+        assert [f.code for f in found] == ["REPRO102"]
+
+    def test_rule_scoped_to_catalogue_files(self):
+        source = "s = Scenario(number=1, action=a)\n"
+        assert findings(ScenarioAnswerRule(), source) == []
+
+
+class TestDeterminism:
+    NETSIM = "src/repro/netsim/example.py"
+
+    @pytest.mark.parametrize(
+        "call",
+        [
+            "time.time()",
+            "datetime.datetime.now()",
+            "random.random()",
+            "random.randint(0, 9)",
+            "np.random.rand(3)",
+        ],
+    )
+    def test_flags_ambient_entropy(self, call):
+        found = findings(DeterminismRule(), f"x = {call}\n", self.NETSIM)
+        assert [f.code for f in found] == ["REPRO103"]
+
+    @pytest.mark.parametrize(
+        "call",
+        [
+            "random.Random(0)",
+            "np.random.default_rng(7)",
+            "self._rng.random()",
+        ],
+    )
+    def test_accepts_seeded_generators(self, call):
+        assert findings(DeterminismRule(), f"x = {call}\n", self.NETSIM) == []
+
+    def test_rule_scoped_to_deterministic_subsystems(self):
+        source = "x = time.time()\n"
+        assert (
+            findings(DeterminismRule(), source, "src/repro/workloads.py")
+            == []
+        )
+
+
+class TestEmptyIterableExtremum:
+    def test_flags_bare_max_over_iterable(self):
+        source = "def f(xs):\n    return max(xs)\n"
+        found = findings(EmptyIterableExtremumRule(), source)
+        assert [f.code for f in found] == ["REPRO104"]
+
+    def test_accepts_default_keyword(self):
+        source = "def f(xs):\n    return max(xs, default=None)\n"
+        assert findings(EmptyIterableExtremumRule(), source) == []
+
+    def test_accepts_two_argument_form(self):
+        source = "def f(a, b):\n    return min(a, b)\n"
+        assert findings(EmptyIterableExtremumRule(), source) == []
+
+    def test_accepts_guarded_call(self):
+        source = (
+            "def f(xs):\n"
+            "    if not xs:\n"
+            "        return None\n"
+            "    return max(x.v for x in xs)\n"
+        )
+        assert findings(EmptyIterableExtremumRule(), source) == []
+
+    def test_guard_must_precede_the_call(self):
+        source = (
+            "def f(xs):\n"
+            "    worst = max(xs)\n"
+            "    if not xs:\n"
+            "        return None\n"
+            "    return worst\n"
+        )
+        found = findings(EmptyIterableExtremumRule(), source)
+        assert [f.code for f in found] == ["REPRO104"]
+
+
+class TestEnumDispatch:
+    def test_flags_partial_process_kind_dict(self):
+        source = (
+            "table = {\n"
+            "    ProcessKind.NONE: 0,\n"
+            "    ProcessKind.SUBPOENA: 1,\n"
+            "}\n"
+        )
+        found = findings(EnumDispatchRule(), source)
+        assert [f.code for f in found] == ["REPRO105"]
+        assert "WIRETAP_ORDER" in found[0].message
+
+    def test_accepts_exhaustive_admissibility_dict(self):
+        source = (
+            "table = {\n"
+            "    Admissibility.ADMISSIBLE: 1,\n"
+            "    Admissibility.SUPPRESSED: 2,\n"
+            "    Admissibility.SUPPRESSED_DERIVATIVE: 3,\n"
+            "}\n"
+        )
+        assert findings(EnumDispatchRule(), source) == []
+
+    def test_flags_partial_match_without_wildcard(self):
+        source = (
+            "def f(kind):\n"
+            "    match kind:\n"
+            "        case Admissibility.ADMISSIBLE:\n"
+            "            return 1\n"
+            "        case Admissibility.SUPPRESSED:\n"
+            "            return 2\n"
+        )
+        found = findings(EnumDispatchRule(), source)
+        assert [f.code for f in found] == ["REPRO105"]
+
+    def test_accepts_match_with_wildcard(self):
+        source = (
+            "def f(kind):\n"
+            "    match kind:\n"
+            "        case Admissibility.ADMISSIBLE:\n"
+            "            return 1\n"
+            "        case _:\n"
+            "            return 0\n"
+        )
+        assert findings(EnumDispatchRule(), source) == []
+
+    def test_ignores_dicts_over_other_enums(self):
+        source = "table = {Color.RED: 1, Color.BLUE: 2}\n"
+        assert findings(EnumDispatchRule(), source) == []
+
+
+class TestMutableDefault:
+    def test_flags_list_default(self):
+        source = "def f(x, seen=[]):\n    return seen\n"
+        found = findings(MutableDefaultRule(), source)
+        assert [f.code for f in found] == ["REPRO106"]
+
+    def test_flags_dict_constructor_default(self):
+        source = "def f(x, cache=dict()):\n    return cache\n"
+        found = findings(MutableDefaultRule(), source)
+        assert [f.code for f in found] == ["REPRO106"]
+
+    def test_accepts_none_default(self):
+        source = "def f(x, seen=None):\n    return seen or []\n"
+        assert findings(MutableDefaultRule(), source) == []
+
+    def test_accepts_frozen_defaults(self):
+        source = "def f(x, pair=(), label=''):\n    return pair\n"
+        assert findings(MutableDefaultRule(), source) == []

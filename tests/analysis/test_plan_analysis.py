@@ -1,0 +1,145 @@
+"""Static plan analysis: Table 1 reproduction and cross-step checks."""
+
+import pytest
+
+from repro.analysis import (
+    Plan,
+    PlanAnalyzer,
+    PlanStep,
+    forfeited_consent_plan,
+    plan_from_scenario,
+    plan_from_scene_number,
+    plan_from_technique,
+    tainted_downstream_plan,
+)
+from repro.analysis.diagnostics import Severity
+from repro.core import ComplianceEngine, build_table1
+from repro.core.enums import ProcessKind
+from repro.techniques import PacketCountingCorrelator
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return PlanAnalyzer(ComplianceEngine())
+
+
+class TestTable1Static:
+    def test_all_twenty_scenes_reproduce_paper_answers(self, analyzer):
+        for scenario in build_table1():
+            report = analyzer.analyze(plan_from_scenario(scenario))
+            needs = report.required_process is not ProcessKind.NONE
+            assert needs == scenario.paper_needs_process, (
+                f"scene {scenario.number}: static analysis says "
+                f"{report.required_process}, paper says "
+                f"{scenario.paper_answer}"
+            )
+
+    def test_scene_with_adequate_instrument_passes(self, analyzer):
+        plan = plan_from_scene_number(
+            18, instruments=(ProcessKind.SEARCH_WARRANT,)
+        )
+        report = analyzer.analyze(plan)
+        assert report.ok
+
+    def test_scene_without_instrument_gets_fix_it(self, analyzer):
+        report = analyzer.analyze(plan_from_scene_number(18))
+        shortfalls = [
+            d for d in report.diagnostics if d.code == "PLAN001"
+        ]
+        assert len(shortfalls) == 1
+        assert shortfalls[0].fix_it == (
+            "obtain a search warrant before step 1"
+        )
+        assert shortfalls[0].authorities  # statute/case citations attach
+
+    def test_unknown_scene_number_raises(self):
+        with pytest.raises(KeyError):
+            plan_from_scene_number(21)
+
+
+class TestTaintPropagation:
+    def test_engine_alone_passes_the_downstream_step(self, analyzer):
+        plan = tainted_downstream_plan()
+        report = analyzer.analyze(plan)
+        # Judged per-action, step 2 needs only the subpoena the plan holds.
+        assert report.rulings[1].required_process is ProcessKind.SUBPOENA
+        assert plan.held_process.satisfies(
+            report.rulings[1].required_process
+        )
+
+    def test_plan_checker_flags_the_downstream_step(self, analyzer):
+        report = analyzer.analyze(tainted_downstream_plan())
+        fruit = [d for d in report.diagnostics if d.code == "PLAN003"]
+        assert len(fruit) == 1
+        assert fruit[0].step == 2
+        assert "wong_sun" in fruit[0].authorities
+        assert not report.ok
+
+    def test_taint_propagates_transitively(self, analyzer):
+        base = tainted_downstream_plan()
+        third = PlanStep(
+            action=base.steps[1].action, uses=(2,), note="derived again"
+        )
+        plan = Plan(
+            name="three-step chain",
+            steps=base.steps + (third,),
+            instruments=base.instruments,
+        )
+        report = analyzer.analyze(plan)
+        fruit_steps = {
+            d.step for d in report.diagnostics if d.code == "PLAN003"
+        }
+        assert fruit_steps == {2, 3}
+
+    def test_curing_the_root_clears_the_taint(self, analyzer):
+        cured = Plan(
+            name="cured",
+            steps=tainted_downstream_plan().steps,
+            instruments=(ProcessKind.WIRETAP_ORDER,),
+        )
+        report = analyzer.analyze(cured)
+        assert [d for d in report.diagnostics if d.code == "PLAN003"] == []
+        assert report.ok
+
+
+class TestForfeitedConsent:
+    def test_revoked_consent_cannot_be_revived_downstream(self, analyzer):
+        report = analyzer.analyze(forfeited_consent_plan())
+        forfeited = [
+            d for d in report.diagnostics if d.code == "PLAN002"
+        ]
+        assert len(forfeited) == 1
+        assert forfeited[0].step == 2
+        assert "megahed" in forfeited[0].authorities
+
+    def test_second_step_alone_satisfies_the_engine(self, analyzer):
+        report = analyzer.analyze(forfeited_consent_plan())
+        # The per-action engine sees an effective consent at step 2.
+        assert report.rulings[1].required_process is ProcessKind.NONE
+
+
+class TestPlanIr:
+    def test_forward_evidence_edges_rejected(self):
+        step = PlanStep(
+            action=tainted_downstream_plan().steps[0].action, uses=(2,)
+        )
+        with pytest.raises(ValueError, match="not an earlier step"):
+            Plan(name="bad", steps=(step,))
+
+    def test_technique_plans_chain_their_steps(self, analyzer):
+        plan = plan_from_technique(PacketCountingCorrelator())
+        assert len(plan.steps) >= 1
+        for number, step in enumerate(plan.steps, 1):
+            assert step.uses == ((number - 1,) if number > 1 else ())
+        report = analyzer.analyze(plan)
+        assert report.required_process is not ProcessKind.NONE
+
+    def test_overprocess_noted_not_errored(self, analyzer):
+        plan = plan_from_scene_number(
+            11, instruments=(ProcessKind.WIRETAP_ORDER,)
+        )  # scene 11 is a public website: no process needed
+        report = analyzer.analyze(plan)
+        notes = [d for d in report.diagnostics if d.code == "PLAN004"]
+        assert len(notes) == 1
+        assert notes[0].severity is Severity.NOTE
+        assert report.ok

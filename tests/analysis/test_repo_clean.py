@@ -1,0 +1,14 @@
+"""Tier-1 guarantee: the shipped package satisfies its own invariants."""
+
+from repro.analysis import has_errors, lint_paths
+
+
+class TestRepoLintsClean:
+    def test_package_has_no_lint_findings(self):
+        diagnostics = lint_paths()
+        assert diagnostics == [], "\n".join(
+            diagnostic.render() for diagnostic in diagnostics
+        )
+
+    def test_has_errors_reflects_diagnostics(self):
+        assert has_errors(lint_paths()) is False

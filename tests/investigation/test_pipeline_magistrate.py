@@ -1,0 +1,32 @@
+"""The pipeline's magistrate is shared: the docket accumulates."""
+
+from repro.core import build_table1
+from repro.court.magistrate import Magistrate
+from repro.investigation.pipeline import InvestigationPipeline
+
+
+class TestSharedMagistrate:
+    def test_docket_accumulates_across_scenes(self):
+        pipeline = InvestigationPipeline()
+        scenes = tuple(
+            s
+            for s in build_table1()
+            if pipeline.engine.evaluate(s.action).needs_process
+        )[:3]
+        assert len(scenes) == 3
+        pipeline.run_all(scenes, obtain_process=True)
+        docket = pipeline.magistrate.docket
+        assert docket.applications_received == len(scenes)
+
+    def test_injected_magistrate_is_used(self):
+        magistrate = Magistrate()
+        pipeline = InvestigationPipeline(magistrate=magistrate)
+        scene = next(s for s in build_table1() if s.number == 18)
+        pipeline.run_scene(scene, obtain_process=True)
+        assert magistrate.docket.applications_received == 1
+
+    def test_outcomes_unchanged_by_sharing(self):
+        pipeline = InvestigationPipeline()
+        scenes = build_table1()
+        complying = pipeline.run_all(scenes, obtain_process=True)
+        assert all(not outcome.suppressed for outcome in complying)

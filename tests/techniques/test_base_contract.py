@@ -1,0 +1,29 @@
+"""Regression tests for the Technique base-class contract."""
+
+from repro.core import ComplianceEngine
+from repro.core.enums import ProcessKind
+from repro.techniques.base import Technique
+
+
+class _NoActionTechnique(Technique):
+    """A technique that (legitimately) declares no acquisitions."""
+
+    name = "pure-computation technique"
+
+    def required_actions(self):
+        return []
+
+
+class TestRequiredProcessEmpty:
+    def test_zero_action_technique_needs_no_process(self):
+        # Regression: max() over an empty generator used to raise
+        # ValueError here.
+        technique = _NoActionTechnique()
+        assert technique.required_process() is ProcessKind.NONE
+
+    def test_explicit_engine_accepted(self):
+        technique = _NoActionTechnique()
+        assert (
+            technique.required_process(ComplianceEngine())
+            is ProcessKind.NONE
+        )
