@@ -11,6 +11,7 @@ from repro.analysis.pylint_rules import (  # noqa: F401  (registration)
     determinism,
     empty_iterable,
     enum_dispatch,
+    fault_swallow,
     mutable_defaults,
     scenario_answers,
     technique_contract,

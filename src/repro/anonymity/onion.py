@@ -22,8 +22,19 @@ from __future__ import annotations
 import dataclasses
 import itertools
 import random
+from typing import TYPE_CHECKING
 
+from repro.faults.plan import FaultKind
 from repro.netsim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.faults.injector import FaultInjector
+
+
+def _validate_loss_rate(loss_rate: float) -> None:
+    """Reject loss rates outside [0, 1); total loss is a dead circuit."""
+    if not 0.0 <= loss_rate < 1.0:
+        raise ValueError(f"loss_rate must be in [0, 1): got {loss_rate}")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -86,11 +97,11 @@ class Circuit:
         rng: random.Random,
         link_delay: float = 0.01,
         loss_rate: float = 0.0,
+        injector: "FaultInjector | None" = None,
     ) -> None:
         if not relays:
             raise ValueError("a circuit needs at least one relay")
-        if not 0.0 <= loss_rate < 1.0:
-            raise ValueError("loss_rate must be in [0, 1)")
+        _validate_loss_rate(loss_rate)
         self.circuit_id = next(self._ids)
         self.sim = sim
         self.client = client
@@ -98,6 +109,7 @@ class Circuit:
         self.relays = list(relays)
         self.link_delay = link_delay
         self.loss_rate = loss_rate
+        self.injector = injector
         self._rng = rng
         #: Cells observed leaving the server toward the network.
         self.server_side_log: list[CellObservation] = []
@@ -111,10 +123,27 @@ class Circuit:
         return len(self.relays)
 
     def _lost(self) -> bool:
-        """Whether this cell is dropped somewhere along the path."""
+        """Whether this cell is dropped somewhere along the path.
+
+        Two independent sources: the circuit's uniform ``loss_rate``, and
+        injected relay churn — a relay leaving the consensus mid-flow,
+        which real Tor circuits experience far more burstily than uniform
+        loss models.
+        """
         if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
             self.cells_lost += 1
             return True
+        if self.injector is not None:
+            # The target names the endpoints, not the process-global
+            # circuit id, so replaying a seed reproduces the injection
+            # log byte for byte.
+            if self.injector.fires(
+                FaultKind.RELAY_CHURN,
+                target=f"circuit:{self.client}->{self.server}",
+                time=self.sim.now,
+            ):
+                self.cells_lost += 1
+                return True
         return False
 
     def send_downstream(self, size: int = 512) -> None:
@@ -181,13 +210,16 @@ class OnionNetwork:
         jitter: float = 0.5,
         link_delay: float = 0.01,
         loss_rate: float = 0.0,
+        injector: "FaultInjector | None" = None,
     ) -> None:
         if n_relays < 1:
             raise ValueError("need at least one relay")
+        _validate_loss_rate(loss_rate)
         self.sim = sim
         self._rng = random.Random(seed)
         self.link_delay = link_delay
         self.loss_rate = loss_rate
+        self.injector = injector
         self.relays = [
             Relay(f"relay-{i}", base_delay=base_delay, jitter=jitter)
             for i in range(n_relays)
@@ -216,6 +248,7 @@ class OnionNetwork:
             rng=self._rng,
             link_delay=self.link_delay,
             loss_rate=self.loss_rate,
+            injector=self.injector,
         )
         self.circuits.append(circuit)
         return circuit

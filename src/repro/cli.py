@@ -9,6 +9,7 @@ Usage::
     python -m repro authorities           # list the citation registry
     python -m repro lint                  # AST-lint the repo's invariants
     python -m repro analyze-plan table1   # static plan analysis
+    python -m repro chaos --seed 7        # paper invariants under faults
 """
 
 from __future__ import annotations
@@ -247,6 +248,26 @@ def _cmd_analyze_plan(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+_CHAOS_BUDGETS = {"small": 5, "medium": 25, "large": 100}
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import run_chaos
+
+    try:
+        report = run_chaos(
+            seed=args.seed,
+            n_plans=_CHAOS_BUDGETS[args.budget],
+            scenes=args.scenes,
+            intensity=args.intensity,
+        )
+    except ValueError as error:
+        print(error)
+        return 1
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -340,6 +361,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="declare an instrument the plan will hold (repeatable)",
     )
     analyze_plan.set_defaults(func=_cmd_analyze_plan)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="run the paper's invariants under randomized fault plans",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=7, help="first fault-plan seed"
+    )
+    chaos.add_argument(
+        "--scenes",
+        default="all",
+        help="'all' or comma-separated Table 1 scene numbers",
+    )
+    chaos.add_argument(
+        "--budget",
+        default="medium",
+        choices=sorted(_CHAOS_BUDGETS),
+        help="fault plans to run: small=5, medium=25, large=100",
+    )
+    chaos.add_argument(
+        "--intensity",
+        type=float,
+        default=0.15,
+        help="upper bound on per-fault probabilities",
+    )
+    chaos.set_defaults(func=_cmd_chaos)
 
     authorities = subparsers.add_parser(
         "authorities", help="list the citation registry"

@@ -48,6 +48,16 @@ class IssuedProcess:
             and self.issued_at <= time <= self.expires_at
         )
 
+    def is_valid(self, time: float) -> bool:
+        """Alias of :meth:`valid_at`, the name consumers read best."""
+        return self.valid_at(time)
+
+    def time_remaining(self, time: float) -> float:
+        """Seconds of validity left at ``time`` (0 if expired/revoked)."""
+        if not self.valid_at(time):
+            return 0.0
+        return self.expires_at - time
+
     def revoke(self) -> None:
         """Revoke the instrument (e.g. consent withdrawn, order quashed)."""
         self.revoked = True

@@ -1,0 +1,135 @@
+"""The fault injector: deterministic decisions plus an explanation log.
+
+One injector instance serves a whole run.  Substrates consult it at each
+fault point (``fires(kind, target, time)``); every decision is drawn from
+an RNG derived from ``(plan.seed, kind)``, so two runs of the same code
+under the same plan make byte-identical decisions *and* byte-identical
+injection logs — the log is the audit trail that makes a chaotic run
+explainable after the fact.
+
+Per-kind RNG streams keep substrates independent: adding a storage fault
+to a plan does not perturb the link-drop decision sequence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import zlib
+
+import random
+
+from repro.faults.plan import FaultKind, FaultPlan
+
+
+def _derive_seed(seed: int, kind: FaultKind) -> int:
+    """A stable per-kind seed (crc32 keeps it interpreter-independent)."""
+    return (seed * 1_000_003 + zlib.crc32(kind.value.encode())) & 0x7FFFFFFF
+
+
+@dataclasses.dataclass(frozen=True)
+class InjectionRecord:
+    """One fault that actually fired."""
+
+    time: float
+    kind: FaultKind
+    target: str
+    detail: str
+
+    def render(self) -> str:
+        """A stable one-line rendering (the unit of log comparison)."""
+        return (
+            f"t={self.time:.6f} {self.kind.value} "
+            f"target={self.target} {self.detail}"
+        )
+
+
+class FaultInjector:
+    """Draws fault decisions from a plan and logs everything that fires."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rngs = {
+            kind: random.Random(_derive_seed(plan.seed, kind))
+            for kind in FaultKind
+        }
+        self._log: list[InjectionRecord] = []
+        self._consumed_schedules: set[tuple[int, float]] = set()
+
+    # -- decisions ---------------------------------------------------------------
+
+    def fires(
+        self, kind: FaultKind, target: str = "*", time: float = 0.0
+    ) -> bool:
+        """Whether a fault of ``kind`` hits ``target`` at this fault point.
+
+        Scheduled times fire exactly once each, on the first consultation
+        at or after the scheduled time; probabilistic sources draw one
+        decision per matching spec per consultation.  Fired faults are
+        appended to the injection log.
+        """
+        fired_details: list[str] = []
+        for index, spec in enumerate(self.plan.specs):
+            if spec.kind is not kind or not spec.matches_target(target):
+                continue
+            for at in spec.at_times:
+                key = (index, at)
+                if at <= time and key not in self._consumed_schedules:
+                    self._consumed_schedules.add(key)
+                    fired_details.append(f"scheduled@{at:.6f}")
+            if (
+                spec.probability > 0
+                and self._rngs[kind].random() < spec.probability
+            ):
+                fired_details.append(f"p={spec.probability:.6f}")
+        if not fired_details:
+            return False
+        self.record(kind, target, ";".join(fired_details), time)
+        return True
+
+    def magnitude(self, kind: FaultKind, target: str = "*") -> float:
+        """The largest ``param`` among specs matching kind and target."""
+        return max(
+            (
+                spec.param
+                for spec in self.plan.for_kind(kind)
+                if spec.matches_target(target)
+            ),
+            default=0.0,
+        )
+
+    # -- logging -----------------------------------------------------------------
+
+    def record(
+        self,
+        kind: FaultKind,
+        target: str,
+        detail: str,
+        time: float = 0.0,
+    ) -> InjectionRecord:
+        """Append an injection record (also used by consumers to log
+        fault *consequences* like an interrupted acquisition)."""
+        record = InjectionRecord(
+            time=time, kind=kind, target=target, detail=detail
+        )
+        self._log.append(record)
+        return record
+
+    @property
+    def log(self) -> tuple[InjectionRecord, ...]:
+        """Everything that fired, in firing order."""
+        return tuple(self._log)
+
+    def fired(self, kind: FaultKind | None = None) -> int:
+        """How many faults fired (optionally of one kind)."""
+        if kind is None:
+            return len(self._log)
+        return sum(1 for record in self._log if record.kind is kind)
+
+    def render_log(self) -> str:
+        """The whole log as text; identical seeds → identical bytes."""
+        return "\n".join(record.render() for record in self._log)
+
+    def log_digest(self) -> str:
+        """SHA-256 of the rendered log, for cheap equality assertions."""
+        return hashlib.sha256(self.render_log().encode()).hexdigest()

@@ -1,0 +1,102 @@
+"""Bounded retries with exponential backoff in simulation time.
+
+Real investigations re-apply after a denial and re-execute after an
+instrument expires; they do not retry forever.  A :class:`RetryPolicy`
+is pure data — attempt count, base delay, multiplier, cap — so the
+backoff schedule is computable (and testable) without running anything,
+and the elapsed time it implies is *simulated* seconds, composing with
+the event-driven substrates rather than sleeping.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+from typing import TypeVar
+
+from repro.faults.errors import FaultError
+
+T = TypeVar("T")
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff: attempt ``k`` waits ``base * multiplier**k``.
+
+    Attributes:
+        max_attempts: Total tries including the first (>= 1).
+        base_delay: Simulated seconds before the first retry.
+        multiplier: Backoff growth factor per retry (>= 1).
+        max_delay: Cap on any single backoff interval.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 60.0
+    multiplier: float = 2.0
+    max_delay: float = 6 * 3600.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1: {self.max_attempts}")
+        if self.base_delay < 0:
+            raise ValueError(f"negative base_delay: {self.base_delay}")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1: {self.multiplier}")
+        if self.max_delay < self.base_delay:
+            raise ValueError("max_delay must be >= base_delay")
+
+    def delay(self, retry_index: int) -> float:
+        """Backoff before retry ``retry_index`` (0 = first retry)."""
+        if retry_index < 0:
+            raise ValueError(f"negative retry index: {retry_index}")
+        return min(
+            self.base_delay * self.multiplier**retry_index, self.max_delay
+        )
+
+    def schedule(self) -> tuple[float, ...]:
+        """Every backoff interval the policy allows, in order."""
+        return tuple(
+            self.delay(index) for index in range(self.max_attempts - 1)
+        )
+
+    def total_backoff(self) -> float:
+        """Worst-case simulated seconds spent waiting across all retries."""
+        return sum(self.schedule())
+
+
+def run_with_retries(
+    fn: Callable[[float], T],
+    policy: RetryPolicy,
+    start: float = 0.0,
+    retry_on: tuple[type[BaseException], ...] = (FaultError,),
+    on_retry: Callable[[int, BaseException, float], None] | None = None,
+) -> tuple[T, int, float]:
+    """Call ``fn(sim_time)`` under a retry policy.
+
+    Args:
+        fn: The operation; receives the simulated time of this attempt.
+        policy: Backoff schedule and attempt bound.
+        start: Simulated time of the first attempt.
+        retry_on: Exception types that trigger a retry; anything else
+            propagates immediately.
+        on_retry: Optional callback ``(retry_index, exception,
+            next_attempt_time)`` invoked before each backoff.
+
+    Returns:
+        ``(result, attempts_used, elapsed_sim_seconds)``.
+
+    Raises:
+        The last exception, if every attempt failed.
+    """
+    now = start
+    for attempt in range(policy.max_attempts):
+        try:
+            return fn(now), attempt + 1, now - start
+        except retry_on as exc:
+            if attempt == policy.max_attempts - 1:
+                raise
+            backoff = policy.delay(attempt)
+            now += backoff
+            if on_retry is not None:
+                on_retry(attempt, exc, now)
+    raise AssertionError("unreachable: loop returns or raises")

@@ -19,6 +19,7 @@ from repro.court.application import ProcessApplication
 from repro.court.docket import IssuedProcess
 from repro.court.magistrate import Decision, Magistrate
 from repro.evidence.items import EvidenceItem
+from repro.faults.retry import RetryPolicy
 from repro.investigation.case import Case
 
 
@@ -74,6 +75,50 @@ class Investigator:
         if decision.granted and decision.instrument is not None:
             self.instruments.append(decision.instrument)
         return decision
+
+    def apply_with_retry(
+        self,
+        kind: ProcessKind,
+        case: Case,
+        time: float,
+        policy: RetryPolicy,
+        target_place: str = "",
+        target_items: tuple[str, ...] = (),
+        necessity_statement: str = "",
+    ) -> tuple[Decision, int, float]:
+        """Apply, re-applying after denials under a retry policy.
+
+        A denial (a hostile court, an injected fault) is not the end of
+        an investigation: the officer re-applies after a backoff, up to
+        the policy's attempt bound.  Each attempt is made at a later
+        simulated time, so staleness horizons and instrument validity
+        windows interact with the backoff realistically.
+
+        Returns:
+            ``(final decision, attempts used, time of the last attempt)``.
+        """
+        now = time
+        decision = self.apply_for(
+            kind,
+            case,
+            now,
+            target_place=target_place,
+            target_items=target_items,
+            necessity_statement=necessity_statement,
+        )
+        attempt = 0
+        while not decision.granted and attempt < policy.max_attempts - 1:
+            now += policy.delay(attempt)
+            attempt += 1
+            decision = self.apply_for(
+                kind,
+                case,
+                now,
+                target_place=target_place,
+                target_items=target_items,
+                necessity_statement=necessity_statement,
+            )
+        return decision, attempt + 1, now
 
     # -- acting -------------------------------------------------------------------
 

@@ -5,6 +5,13 @@ obtain the required process from a magistrate, perform the acquisition,
 and take the resulting evidence to a suppression hearing.  The suppression
 benchmark drives this pipeline across all twenty Table 1 scenes both ways
 (complying and not) and checks the 100%/0% suppression split.
+
+The pipeline is *resilient*: with a fault injector attached (hostile
+courts, expiring instruments) it re-applies under a bounded
+:class:`~repro.faults.retry.RetryPolicy`, checks instrument validity at
+**acquisition** time rather than issuance time, and records every
+interruption in the evidence's chain of custody so the suppression
+hearing rules on what actually happened.
 """
 
 from __future__ import annotations
@@ -18,7 +25,10 @@ from repro.core.scenarios import Scenario
 from repro.court.application import Fact
 from repro.court.magistrate import Magistrate
 from repro.court.suppression import SuppressionHearing
+from repro.evidence.custody import ChainOfCustody
 from repro.evidence.items import EvidenceItem
+from repro.faults.injector import FaultInjector
+from repro.faults.retry import RetryPolicy
 from repro.investigation.case import Case
 from repro.investigation.investigator import Investigator
 
@@ -34,6 +44,11 @@ class SceneOutcome:
             sought or granted).
         evidence: The evidence item the acquisition produced.
         admissibility: The suppression hearing's outcome for it.
+        custody: The chain of custody taken to the hearing.
+        application_attempts: Court applications made (0 when none was
+            sought; more than 1 means the retry policy re-applied).
+        interruptions: Human-readable fault interruptions recorded
+            against this scene's evidence.
     """
 
     scenario: Scenario
@@ -41,6 +56,9 @@ class SceneOutcome:
     process_obtained: ProcessKind
     evidence: EvidenceItem
     admissibility: Admissibility
+    custody: ChainOfCustody | None = None
+    application_attempts: int = 0
+    interruptions: tuple[str, ...] = ()
 
     @property
     def suppressed(self) -> bool:
@@ -54,15 +72,42 @@ class InvestigationPipeline:
     One :class:`~repro.court.magistrate.Magistrate` serves the whole
     pipeline, so the docket accumulates applications and instruments
     across scenes instead of being re-allocated per scene.
+
+    Args:
+        engine: The compliance engine ruling on acquisitions.
+        magistrate: The issuing court (given the pipeline's injector if
+            it has none of its own, so court faults reach it).
+        injector: Optional fault injector; scene runs then experience
+            court denial/latency and instrument expiry, and the custody
+            log of affected evidence records the interruption.
+        retry_policy: Backoff schedule for re-applying after a denial or
+            an expiry; defaults to three attempts, 15 simulated minutes
+            base delay.
+        acquisition_lag: Simulated seconds between obtaining process and
+            executing the acquisition (warrants are not executed the
+            second they issue); this is the window an injected
+            short-validity instrument expires in.
     """
 
     def __init__(
         self,
         engine: ComplianceEngine | None = None,
         magistrate: Magistrate | None = None,
+        injector: FaultInjector | None = None,
+        retry_policy: RetryPolicy | None = None,
+        acquisition_lag: float = 0.0,
     ) -> None:
+        if acquisition_lag < 0:
+            raise ValueError(f"negative acquisition_lag: {acquisition_lag}")
         self.engine = engine or ComplianceEngine()
-        self.magistrate = magistrate or Magistrate()
+        self.injector = injector
+        if magistrate is None:
+            magistrate = Magistrate(injector=injector)
+        self.magistrate = magistrate
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=3, base_delay=900.0
+        )
+        self.acquisition_lag = acquisition_lag
         self.hearing = SuppressionHearing(self.engine)
 
     def run_scene(
@@ -79,7 +124,7 @@ class InvestigationPipeline:
                 for (and, with probable cause on file, receives) whatever
                 process the engine says the scene needs; if ``False`` the
                 officer barges ahead with nothing.
-            time: Simulation time of the acquisition.
+            time: Simulation time the scene starts.
 
         Returns:
             The complete :class:`SceneOutcome`.
@@ -92,36 +137,120 @@ class InvestigationPipeline:
         )
 
         obtained = ProcessKind.NONE
+        attempts = 0
+        acquire_time = time
+        interruptions: list[str] = []
         if obtain_process and ruling.required_process is not ProcessKind.NONE:
             case = self._case_with_full_showing(scenario)
-            decision = investigator.apply_for(
-                ruling.required_process,
-                case,
-                time=time,
-                target_place=f"scene {scenario.number} target",
-                target_items=("records described in the application",),
-                necessity_statement=(
-                    "conventional techniques cannot reach the anonymized "
-                    "or encrypted traffic at issue (stipulated)"
-                ),
+            obtained, attempts, acquire_time = self._obtain_process(
+                investigator, ruling, case, scenario, time, interruptions
             )
-            if decision.granted and decision.instrument is not None:
-                obtained = decision.instrument.kind
 
         evidence = investigator.act(
             scenario.action,
-            time=time,
+            time=acquire_time,
             content=f"data acquired in scene {scenario.number}",
             comply=False,  # the hearing, not the officer, is the check here
         )
-        outcome = self.hearing.hear([evidence])
+        custody = ChainOfCustody(
+            evidence, custodian=investigator.name, time=acquire_time
+        )
+        for interruption in interruptions:
+            custody.record_event(
+                f"acquisition interrupted: {interruption}", time=acquire_time
+            )
+        outcome = self.hearing.hear(
+            [evidence], custody={evidence.evidence_id: custody}
+        )
         return SceneOutcome(
             scenario=scenario,
             ruling=ruling,
             process_obtained=obtained,
             evidence=evidence,
             admissibility=outcome.outcome_for(evidence),
+            custody=custody,
+            application_attempts=attempts,
+            interruptions=tuple(interruptions),
         )
+
+    def _obtain_process(
+        self,
+        investigator: Investigator,
+        ruling: Ruling,
+        case: Case,
+        scenario: Scenario,
+        time: float,
+        interruptions: list[str],
+    ) -> tuple[ProcessKind, int, float]:
+        """Apply (with retries) and schedule the acquisition.
+
+        Returns ``(kind obtained, application attempts, acquisition
+        time)``.  The instrument's validity is checked at the
+        *acquisition* time — an instrument that expired or was revoked in
+        the lag between issuance and execution does not authorize the
+        acquisition, and the officer re-applies once more under the retry
+        policy before proceeding (lawfully or not).
+        """
+        decision, attempts, decide_time = investigator.apply_with_retry(
+            ruling.required_process,
+            case,
+            time,
+            self.retry_policy,
+            target_place=f"scene {scenario.number} target",
+            target_items=("records described in the application",),
+            necessity_statement=(
+                "conventional techniques cannot reach the anonymized "
+                "or encrypted traffic at issue (stipulated)"
+            ),
+        )
+        if not decision.granted or decision.instrument is None:
+            interruptions.append(
+                f"process application denied after {attempts} attempt(s): "
+                f"{decision.reason}"
+            )
+            return ProcessKind.NONE, attempts, decide_time
+
+        instrument = decision.instrument
+        acquire_time = instrument.issued_at + self.acquisition_lag
+        if instrument.is_valid(acquire_time):
+            return instrument.kind, attempts, acquire_time
+
+        # Expired (or revoked) before execution: record it, re-apply once
+        # more through the policy, and execute with whatever is then held.
+        # Interruption text names the instrument by kind, not by its
+        # process-global id, so identical seeds yield identical outcomes.
+        interruptions.append(
+            f"instrument ({instrument.kind.display_name}) no longer "
+            f"valid at acquisition time t={acquire_time}"
+        )
+        redecision, more, redecide_time = investigator.apply_with_retry(
+            ruling.required_process,
+            case,
+            acquire_time,
+            self.retry_policy,
+            target_place=f"scene {scenario.number} target",
+            target_items=("records described in the application",),
+            necessity_statement=(
+                "conventional techniques cannot reach the anonymized "
+                "or encrypted traffic at issue (stipulated)"
+            ),
+        )
+        attempts += more
+        if redecision.granted and redecision.instrument is not None:
+            fresh = redecision.instrument
+            acquire_time = fresh.issued_at + self.acquisition_lag
+            if fresh.is_valid(acquire_time):
+                return fresh.kind, attempts, acquire_time
+            interruptions.append(
+                f"re-issued instrument ({fresh.kind.display_name}) also "
+                f"expired before acquisition at t={acquire_time}"
+            )
+            return ProcessKind.NONE, attempts, acquire_time
+        interruptions.append(
+            f"re-application denied after {more} attempt(s): "
+            f"{redecision.reason}"
+        )
+        return ProcessKind.NONE, attempts, redecide_time
 
     @staticmethod
     def _case_with_full_showing(scenario: Scenario) -> Case:

@@ -18,31 +18,59 @@ from __future__ import annotations
 
 import abc
 import dataclasses
+from typing import TYPE_CHECKING
 
 from repro.core.action import ConsentFacts, DoctrineFacts, InvestigativeAction
 from repro.core.context import EnvironmentContext
 from repro.core.enums import Actor, DataKind, Timing
+from repro.faults.plan import FaultKind
 from repro.netsim.address import IpAddress
 from repro.netsim.packet import HeaderRecord, Packet
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.faults.injector import FaultInjector
+
 
 class Tap(abc.ABC):
-    """Base class for collection devices attachable to links and media."""
+    """Base class for collection devices attachable to links and media.
 
-    def __init__(self, name: str, target_ip: IpAddress | None = None) -> None:
+    A tap may be given a fault injector, modelling collection-device
+    dropout (a pen register that misses packets).  Dropout only ever
+    *loses* records — a degraded tap never gains capabilities, so a
+    pen/trap tap that misses packets still never stores payload.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        target_ip: IpAddress | None = None,
+        injector: "FaultInjector | None" = None,
+    ) -> None:
         self.name = name
         #: Restrict collection to packets to/from this address, if set.
         self.target_ip = target_ip
+        self.injector = injector
         self._observed_count = 0
+        self._dropped_count = 0
 
     @property
     def observed_count(self) -> int:
         """How many packets matched and were recorded."""
         return self._observed_count
 
+    @property
+    def dropped_count(self) -> int:
+        """How many matching packets the device missed to dropout."""
+        return self._dropped_count
+
     def observe(self, packet: Packet, timestamp: float) -> None:
         """Called by the link/medium for every passing packet."""
         if not self._matches(packet):
+            return
+        if self.injector is not None and self.injector.fires(
+            FaultKind.TAP_DROPOUT, target=f"tap:{self.name}", time=timestamp
+        ):
+            self._dropped_count += 1
             return
         self._observed_count += 1
         self._record(packet, timestamp)
@@ -91,8 +119,13 @@ class PenRegisterTap(Tap):
     target set, all packets are treated as outgoing.
     """
 
-    def __init__(self, name: str, target_ip: IpAddress | None = None) -> None:
-        super().__init__(name, target_ip)
+    def __init__(
+        self,
+        name: str,
+        target_ip: IpAddress | None = None,
+        injector: "FaultInjector | None" = None,
+    ) -> None:
+        super().__init__(name, target_ip, injector)
         self._records: list[HeaderRecord] = []
 
     @property
@@ -120,8 +153,13 @@ class PenRegisterTap(Tap):
 class TrapTraceTap(Tap):
     """Records *incoming* addressing information only (18 U.S.C. 3127(4))."""
 
-    def __init__(self, name: str, target_ip: IpAddress | None = None) -> None:
-        super().__init__(name, target_ip)
+    def __init__(
+        self,
+        name: str,
+        target_ip: IpAddress | None = None,
+        injector: "FaultInjector | None" = None,
+    ) -> None:
+        super().__init__(name, target_ip, injector)
         self._records: list[HeaderRecord] = []
 
     @property
@@ -157,8 +195,13 @@ class InterceptedPacket:
 class FullInterceptTap(Tap):
     """Retains entire packets, payload included — a Title III intercept."""
 
-    def __init__(self, name: str, target_ip: IpAddress | None = None) -> None:
-        super().__init__(name, target_ip)
+    def __init__(
+        self,
+        name: str,
+        target_ip: IpAddress | None = None,
+        injector: "FaultInjector | None" = None,
+    ) -> None:
+        super().__init__(name, target_ip, injector)
         self._captures: list[InterceptedPacket] = []
 
     @property

@@ -10,6 +10,13 @@ chain-of-custody integrity checks in :mod:`repro.evidence`.
 from __future__ import annotations
 
 import hashlib
+from typing import TYPE_CHECKING
+
+from repro.faults.errors import StorageFault, TransientReadError
+from repro.faults.plan import FaultKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.faults.injector import FaultInjector
 
 
 class BlockDevice:
@@ -18,16 +25,30 @@ class BlockDevice:
     Args:
         n_blocks: Number of blocks.
         block_size: Bytes per block.
+        injector: Optional fault injector; reads may then fail
+            transiently (``STORAGE_READ_ERROR``) or return silently
+            corrupted data once (``STORAGE_BIT_ROT``).  Both faults are
+            read-side only: the stored bytes are never mutated, so a
+            re-read can recover the true contents — which is why imaging
+            verifies hashes and re-reads rather than trusting one pass.
     """
 
-    def __init__(self, n_blocks: int = 1024, block_size: int = 512) -> None:
+    def __init__(
+        self,
+        n_blocks: int = 1024,
+        block_size: int = 512,
+        injector: "FaultInjector | None" = None,
+    ) -> None:
         if n_blocks <= 0 or block_size <= 0:
             raise ValueError("device geometry must be positive")
         self.n_blocks = n_blocks
         self.block_size = block_size
+        self.injector = injector
         self._blocks: list[bytes] = [b"\x00" * block_size] * n_blocks
         self.reads = 0
         self.writes = 0
+        self.read_errors = 0
+        self.corrupted_reads = 0
 
     @property
     def capacity(self) -> int:
@@ -39,9 +60,27 @@ class BlockDevice:
 
         Raises:
             IndexError: On an out-of-range block index.
+            TransientReadError: If an injected read fault fires; the
+                underlying data is unharmed and a re-read may succeed.
         """
         self._check(index)
         self.reads += 1
+        if self.injector is not None:
+            target = f"blockdev:{index}"
+            if self.injector.fires(
+                FaultKind.STORAGE_READ_ERROR, target=target
+            ):
+                self.read_errors += 1
+                raise TransientReadError(
+                    f"read error at block {index}",
+                    kind=FaultKind.STORAGE_READ_ERROR,
+                    target=target,
+                )
+            if self.injector.fires(FaultKind.STORAGE_BIT_ROT, target=target):
+                self.corrupted_reads += 1
+                block = bytearray(self._blocks[index])
+                block[0] ^= 0x01
+                return bytes(block)
         return self._blocks[index]
 
     def write_block(self, index: int, data: bytes) -> None:
@@ -95,14 +134,54 @@ class BlockDevice:
         return hashlib.sha256(self.raw_bytes()).hexdigest()
 
 
-def image_device(source: BlockDevice) -> BlockDevice:
-    """Produce a bit-for-bit forensic image of a device.
+def image_device(
+    source: BlockDevice, max_attempts: int = 3
+) -> BlockDevice:
+    """Produce a bit-for-bit forensic image of a device, verified.
 
-    The copy has identical geometry and contents; callers should verify
-    ``image.sha256() == source.sha256()`` and record both in the chain of
-    custody.
+    Blocks are read through the device's public read path, so injected
+    read errors and bit-rot hit the imaging process like they would a
+    real write-blocker.  Each block gets up to ``max_attempts`` reads on
+    transient errors; after the pass the whole image's SHA-256 is checked
+    against the source and, on a mismatch (silent corruption), the image
+    is re-read from scratch.  Callers should still record both hashes in
+    the chain of custody.
+
+    Raises:
+        StorageFault: If a verified image could not be produced within
+            ``max_attempts`` passes.
     """
-    copy = BlockDevice(n_blocks=source.n_blocks, block_size=source.block_size)
-    for index in range(source.n_blocks):
-        copy._blocks[index] = source._blocks[index]
-    return copy
+    if max_attempts < 1:
+        raise ValueError(f"max_attempts must be >= 1: {max_attempts}")
+    expected = source.sha256()
+    for _attempt in range(max_attempts):
+        copy = BlockDevice(
+            n_blocks=source.n_blocks, block_size=source.block_size
+        )
+        try:
+            for index in range(source.n_blocks):
+                copy._blocks[index] = _read_with_retry(
+                    source, index, max_attempts
+                )
+        except TransientReadError:
+            continue
+        if copy.sha256() == expected:
+            return copy
+    raise StorageFault(
+        f"imaging failed: no verified image within {max_attempts} passes",
+        kind=FaultKind.STORAGE_BIT_ROT,
+        target="blockdev:image",
+    )
+
+
+def _read_with_retry(
+    source: BlockDevice, index: int, max_attempts: int
+) -> bytes:
+    """Read one block, retrying transient errors up to ``max_attempts``."""
+    for attempt in range(max_attempts):
+        try:
+            return source.read_block(index)
+        except TransientReadError:
+            if attempt == max_attempts - 1:
+                raise
+    raise AssertionError("unreachable: loop returns or raises")

@@ -23,12 +23,24 @@ from repro.techniques.base import Technique
 
 @dataclasses.dataclass(frozen=True)
 class CorrelationResult:
-    """Outcome of correlating one candidate against the reference flow."""
+    """Outcome of correlating one candidate against the reference flow.
+
+    Attributes:
+        correlation: Best Pearson correlation over the offset search.
+        best_offset: The delay offset that maximized correlation.
+        n_reference: Reference arrivals observed.
+        n_candidate: Candidate arrivals observed.
+        confidence: Sample-support score in [0, 1]: 0 when either series
+            is empty, otherwise the thinner series' mean packets-per-
+            window capped at 1 — degraded taps lower confidence rather
+            than raising.
+    """
 
     correlation: float
     best_offset: float
     n_reference: int
     n_candidate: int
+    confidence: float = 1.0
 
 
 def binned_counts(
@@ -92,9 +104,19 @@ class PacketCountingCorrelator(Technique):
 
         The reference series is binned once from ``start``; the candidate
         series is re-binned at each trial offset and the best Pearson
-        correlation wins.
+        correlation wins.  An empty series on either side returns a
+        zero-correlation, zero-confidence result instead of raising.
         """
         reference = binned_counts(reference_times, start, duration, self.window)
+        n_bins = reference.size
+        if not reference_times or not candidate_times:
+            return CorrelationResult(
+                correlation=0.0,
+                best_offset=0.0,
+                n_reference=len(reference_times),
+                n_candidate=len(candidate_times),
+                confidence=0.0,
+            )
         best_corr = float("-inf")
         best_offset = 0.0
         offset = 0.0
@@ -107,11 +129,13 @@ class PacketCountingCorrelator(Technique):
                 best_corr = corr
                 best_offset = offset
             offset += self.offset_step
+        support = min(len(reference_times), len(candidate_times)) / n_bins
         return CorrelationResult(
             correlation=best_corr,
             best_offset=best_offset,
             n_reference=len(reference_times),
             n_candidate=len(candidate_times),
+            confidence=min(1.0, support),
         )
 
     def matches(self, result: CorrelationResult) -> bool:

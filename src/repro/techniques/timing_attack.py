@@ -44,6 +44,11 @@ class NeighborAssessment:
             nearest responding source: 0 means the neighbour *is* the
             source, 1 means it is a direct friend of one — a "trusted
             node of the source" in the paper's phrase.
+        confidence: Fraction of the query trials this neighbour actually
+            answered, in [0, 1].  A lossy overlay (dropped responses,
+            churned relays) thins the sample the median is computed over;
+            the verdict still comes back, flagged as lower-confidence
+            instead of raising.
     """
 
     name: str
@@ -53,6 +58,7 @@ class NeighborAssessment:
     excess_delay: float
     classified_source: bool
     estimated_distance: int = 0
+    confidence: float = 1.0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -150,7 +156,13 @@ class OneSwarmTimingAttack(Technique):
         trials: int,
         records: list[ResponseRecord],
     ) -> InvestigationResult:
-        """Classify neighbours from already collected response records."""
+        """Classify neighbours from already collected response records.
+
+        Partial input degrades gracefully: neighbours seen in fewer than
+        ``trials`` responses are still assessed, with ``confidence``
+        scaled down to the observed fraction; an empty record list yields
+        an empty (not raised) result.
+        """
         by_neighbor: dict[str, list[float]] = {}
         for record in records:
             by_neighbor.setdefault(record.neighbor, []).append(
@@ -162,6 +174,9 @@ class OneSwarmTimingAttack(Technique):
             median_rt = statistics.median(times)
             rtt = overlay.measure_rtt(investigator, neighbor)
             excess = median_rt - rtt
+            confidence = (
+                min(1.0, len(times) / trials) if trials > 0 else 0.0
+            )
             assessments.append(
                 NeighborAssessment(
                     name=neighbor,
@@ -173,6 +188,7 @@ class OneSwarmTimingAttack(Technique):
                     estimated_distance=self.estimate_distance(
                         excess, overlay.timing
                     ),
+                    confidence=confidence,
                 )
             )
         return InvestigationResult(

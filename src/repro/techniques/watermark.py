@@ -216,6 +216,11 @@ class DetectionResult:
         detected: Whether ``correlation >= threshold``.
         best_offset: The delay offset (seconds) that maximized correlation.
         n_packets: Number of arrivals analyzed.
+        confidence: How much of the expected signal support was actually
+            observed, in [0, 1].  1.0 with no expectation given and a
+            non-empty series; 0.0 for an empty series; otherwise
+            ``min(1, observed/expected)``.  Degraded input (tap dropout,
+            relay churn) lowers confidence instead of raising.
     """
 
     correlation: float
@@ -223,6 +228,7 @@ class DetectionResult:
     detected: bool
     best_offset: float
     n_packets: int
+    confidence: float = 1.0
 
 
 class WatermarkDetector:
@@ -257,8 +263,14 @@ class WatermarkDetector:
         start: float,
         max_offset: float = 1.0,
         offset_step: float = 0.05,
+        expected_packets: int | None = None,
     ) -> DetectionResult:
         """Search delay offsets and decide whether the watermark is present.
+
+        Degraded input never raises: an empty series yields a clean
+        non-detection at confidence 0, and a thinned series (dropout,
+        churn) yields a result whose ``confidence`` reflects the missing
+        support.
 
         Args:
             arrival_times: Candidate's observed packet arrival timestamps.
@@ -266,10 +278,22 @@ class WatermarkDetector:
             max_offset: Largest network delay to search.
             offset_step: Offset search granularity (a fraction of the chip
                 duration is appropriate).
+            expected_packets: How many packets the embedder scheduled, if
+                known; enables the confidence score.
 
         Returns:
             The best-offset :class:`DetectionResult`.
         """
+        threshold = self.config.threshold(len(self.code))
+        if not arrival_times:
+            return DetectionResult(
+                correlation=0.0,
+                threshold=threshold,
+                detected=False,
+                best_offset=0.0,
+                n_packets=0,
+                confidence=0.0,
+            )
         best_corr = float("-inf")
         best_offset = 0.0
         offset = 0.0
@@ -279,13 +303,16 @@ class WatermarkDetector:
                 best_corr = corr
                 best_offset = offset
             offset += offset_step
-        threshold = self.config.threshold(len(self.code))
+        confidence = 1.0
+        if expected_packets is not None and expected_packets > 0:
+            confidence = min(1.0, len(arrival_times) / expected_packets)
         return DetectionResult(
             correlation=best_corr,
             threshold=threshold,
             detected=best_corr >= threshold,
             best_offset=best_offset,
             n_packets=len(arrival_times),
+            confidence=confidence,
         )
 
 

@@ -10,6 +10,7 @@ from repro.analysis.pylint_rules.empty_iterable import (
     EmptyIterableExtremumRule,
 )
 from repro.analysis.pylint_rules.enum_dispatch import EnumDispatchRule
+from repro.analysis.pylint_rules.fault_swallow import FaultSwallowRule
 from repro.analysis.pylint_rules.mutable_defaults import MutableDefaultRule
 from repro.analysis.pylint_rules.scenario_answers import ScenarioAnswerRule
 from repro.analysis.pylint_rules.technique_contract import (
@@ -245,3 +246,97 @@ class TestMutableDefault:
     def test_accepts_frozen_defaults(self):
         source = "def f(x, pair=(), label=''):\n    return pair\n"
         assert findings(MutableDefaultRule(), source) == []
+
+
+TECHNIQUE_PATH = "src/repro/techniques/example.py"
+
+
+class TestFaultSwallow:
+    def test_flags_swallowed_fault_in_detect(self):
+        source = (
+            "def detect(self, arrivals):\n"
+            "    try:\n"
+            "        data = read(arrivals)\n"
+            "    except FaultError:\n"
+            "        data = []\n"
+            "    return Result(data)\n"
+        )
+        found = findings(FaultSwallowRule(), source, TECHNIQUE_PATH)
+        assert [f.code for f in found] == ["REPRO107"]
+        assert "detect" in found[0].message
+
+    def test_flags_fault_subclasses_and_tuples(self):
+        source = (
+            "def run(self):\n"
+            "    try:\n"
+            "        step()\n"
+            "    except (StorageFault, TransientReadError):\n"
+            "        pass\n"
+        )
+        found = findings(FaultSwallowRule(), source, TECHNIQUE_PATH)
+        assert len(found) == 1
+
+    def test_accepts_reraise(self):
+        source = (
+            "def run(self):\n"
+            "    try:\n"
+            "        step()\n"
+            "    except FaultError:\n"
+            "        raise\n"
+        )
+        assert findings(FaultSwallowRule(), source, TECHNIQUE_PATH) == []
+
+    def test_accepts_confidence_degradation(self):
+        source = (
+            "def correlate(self, a, b):\n"
+            "    confidence = 1.0\n"
+            "    try:\n"
+            "        data = read(a)\n"
+            "    except FaultError:\n"
+            "        data, confidence = [], 0.5\n"
+            "    return Result(data, confidence=confidence)\n"
+        )
+        assert findings(FaultSwallowRule(), source, TECHNIQUE_PATH) == []
+
+    def test_accepts_custody_recording(self):
+        source = (
+            "def investigate(self, custody):\n"
+            "    try:\n"
+            "        acquire()\n"
+            "    except CourtFault as fault:\n"
+            "        custody.record_event(str(fault))\n"
+        )
+        assert findings(FaultSwallowRule(), source, TECHNIQUE_PATH) == []
+
+    def test_ignores_non_fault_exceptions(self):
+        source = (
+            "def run(self):\n"
+            "    try:\n"
+            "        step()\n"
+            "    except ValueError:\n"
+            "        pass\n"
+        )
+        assert findings(FaultSwallowRule(), source, TECHNIQUE_PATH) == []
+
+    def test_ignores_helpers_outside_entry_points(self):
+        source = (
+            "def _load(self):\n"
+            "    try:\n"
+            "        step()\n"
+            "    except FaultError:\n"
+            "        pass\n"
+        )
+        assert findings(FaultSwallowRule(), source, TECHNIQUE_PATH) == []
+
+    def test_only_applies_to_techniques(self):
+        source = (
+            "def run(self):\n"
+            "    try:\n"
+            "        step()\n"
+            "    except FaultError:\n"
+            "        pass\n"
+        )
+        assert (
+            findings(FaultSwallowRule(), source, "src/repro/netsim/link.py")
+            == []
+        )

@@ -1,0 +1,58 @@
+"""Satellite (c): same seed + same plan => byte-identical runs.
+
+Runs the same faulted experiment twice in the same process and asserts
+the injection logs match byte for byte and the pipeline outcomes are
+identical — the property that makes any chaos failure reproducible from
+its seed alone.
+"""
+
+from repro.core.engine import ComplianceEngine
+from repro.core.scenarios import build_table1
+from repro.faults.chaos import run_plan
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.investigation.pipeline import InvestigationPipeline
+
+SEED = 1234
+
+
+def _run_once():
+    plan = FaultPlan.randomized(SEED, intensity=0.3)
+    injector = FaultInjector(plan)
+    pipeline = InvestigationPipeline(
+        injector=injector, acquisition_lag=600.0
+    )
+    outcomes = pipeline.run_all(build_table1(), obtain_process=True)
+    summaries = tuple(
+        (
+            outcome.scenario.number,
+            outcome.process_obtained,
+            outcome.admissibility,
+            outcome.application_attempts,
+            outcome.interruptions,
+        )
+        for outcome in outcomes
+    )
+    return injector.render_log(), summaries
+
+
+class TestFaultDeterminism:
+    def test_identical_logs_and_outcomes_across_runs(self):
+        log_one, outcomes_one = _run_once()
+        log_two, outcomes_two = _run_once()
+        assert log_one == log_two
+        assert outcomes_one == outcomes_two
+
+    def test_randomized_plan_is_seed_pure(self):
+        assert (
+            FaultPlan.randomized(SEED).describe()
+            == FaultPlan.randomized(SEED).describe()
+        )
+
+    def test_chaos_plan_digest_is_reproducible(self):
+        scenarios = build_table1()
+        engine = ComplianceEngine()
+        first = run_plan(SEED, scenarios, engine=engine)
+        second = run_plan(SEED, scenarios, engine=engine)
+        assert first.log_digest == second.log_digest
+        assert first == second

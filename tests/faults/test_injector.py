@@ -1,0 +1,133 @@
+"""Unit tests for the deterministic fault injector."""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+
+
+def injector(*specs, seed=7):
+    return FaultInjector(FaultPlan(seed=seed, specs=tuple(specs)))
+
+
+class TestScheduledFaults:
+    def test_fires_once_at_or_after_scheduled_time(self):
+        inj = injector(
+            FaultSpec(kind=FaultKind.TAP_DROPOUT, at_times=(5.0,))
+        )
+        assert not inj.fires(FaultKind.TAP_DROPOUT, time=4.9)
+        assert inj.fires(FaultKind.TAP_DROPOUT, time=5.1)
+        assert not inj.fires(FaultKind.TAP_DROPOUT, time=6.0)
+        assert inj.fired(FaultKind.TAP_DROPOUT) == 1
+
+    def test_each_scheduled_time_fires_independently(self):
+        inj = injector(
+            FaultSpec(kind=FaultKind.LINK_DROP, at_times=(1.0, 2.0))
+        )
+        assert inj.fires(FaultKind.LINK_DROP, time=1.0)
+        assert inj.fires(FaultKind.LINK_DROP, time=2.5)
+        assert not inj.fires(FaultKind.LINK_DROP, time=3.0)
+
+    def test_scheduled_respects_target_filter(self):
+        inj = injector(
+            FaultSpec(
+                kind=FaultKind.LINK_DROP, at_times=(1.0,), target="link:a-b"
+            )
+        )
+        assert not inj.fires(FaultKind.LINK_DROP, target="link:c-d", time=2.0)
+        assert inj.fires(FaultKind.LINK_DROP, target="link:a-b", time=2.0)
+
+
+class TestProbabilisticFaults:
+    def test_zero_probability_never_fires(self):
+        inj = injector(FaultSpec(kind=FaultKind.LINK_DROP, probability=0.0))
+        assert not any(
+            inj.fires(FaultKind.LINK_DROP, time=t) for t in range(100)
+        )
+
+    def test_certain_probability_always_fires(self):
+        inj = injector(FaultSpec(kind=FaultKind.LINK_DROP, probability=1.0))
+        assert all(
+            inj.fires(FaultKind.LINK_DROP, time=t) for t in range(20)
+        )
+
+    def test_decision_sequence_is_seed_deterministic(self):
+        spec = FaultSpec(kind=FaultKind.RELAY_CHURN, probability=0.3)
+        first = [
+            injector(spec, seed=11).fires(FaultKind.RELAY_CHURN)
+            for _ in range(1)
+        ]
+        one = injector(spec, seed=11)
+        two = injector(spec, seed=11)
+        decisions_one = [one.fires(FaultKind.RELAY_CHURN) for _ in range(200)]
+        decisions_two = [two.fires(FaultKind.RELAY_CHURN) for _ in range(200)]
+        assert decisions_one == decisions_two
+        assert first[0] == decisions_one[0]
+
+    def test_kind_streams_are_independent(self):
+        """Adding a storage spec must not perturb link decisions."""
+        link_only = injector(
+            FaultSpec(kind=FaultKind.LINK_DROP, probability=0.3), seed=5
+        )
+        both = injector(
+            FaultSpec(kind=FaultKind.LINK_DROP, probability=0.3),
+            FaultSpec(kind=FaultKind.STORAGE_READ_ERROR, probability=0.5),
+            seed=5,
+        )
+        sequence_a = []
+        sequence_b = []
+        for _ in range(100):
+            sequence_a.append(link_only.fires(FaultKind.LINK_DROP))
+            both.fires(FaultKind.STORAGE_READ_ERROR)
+            sequence_b.append(both.fires(FaultKind.LINK_DROP))
+        assert sequence_a == sequence_b
+
+
+class TestMagnitude:
+    def test_largest_matching_param_wins(self):
+        inj = injector(
+            FaultSpec(kind=FaultKind.COURT_LATENCY, param=60.0),
+            FaultSpec(kind=FaultKind.COURT_LATENCY, param=600.0),
+        )
+        assert inj.magnitude(FaultKind.COURT_LATENCY) == 600.0
+
+    def test_no_matching_spec_means_zero(self):
+        inj = injector()
+        assert inj.magnitude(FaultKind.COURT_LATENCY) == 0.0
+
+    def test_target_filter_applies(self):
+        inj = injector(
+            FaultSpec(
+                kind=FaultKind.LINK_REORDER, param=0.5, target="link:a-b"
+            )
+        )
+        assert inj.magnitude(FaultKind.LINK_REORDER, "link:c-d") == 0.0
+        assert inj.magnitude(FaultKind.LINK_REORDER, "link:a-b") == 0.5
+
+
+class TestInjectionLog:
+    def test_log_renders_stably(self):
+        inj = injector(
+            FaultSpec(kind=FaultKind.TAP_DROPOUT, at_times=(2.0,))
+        )
+        inj.fires(FaultKind.TAP_DROPOUT, target="tap:pen-1", time=2.0)
+        assert inj.render_log() == (
+            "t=2.000000 tap-dropout target=tap:pen-1 scheduled@2.000000"
+        )
+
+    def test_identical_seeds_identical_digests(self):
+        spec = FaultSpec(kind=FaultKind.LINK_DROP, probability=0.4)
+        runs = []
+        for _ in range(2):
+            inj = injector(spec, seed=99)
+            for t in range(50):
+                inj.fires(FaultKind.LINK_DROP, target="link:x-y", time=t)
+            runs.append(inj.log_digest())
+        assert runs[0] == runs[1]
+
+    def test_consumer_records_appear_in_log(self):
+        inj = injector()
+        inj.record(
+            FaultKind.COURT_DENIAL, "application:officer", "re-applying", 9.0
+        )
+        assert inj.fired() == 1
+        assert "re-applying" in inj.render_log()
+        assert inj.log[0].kind is FaultKind.COURT_DENIAL

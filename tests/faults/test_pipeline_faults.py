@@ -1,0 +1,138 @@
+"""The resilient pipeline under court faults (satellite b + retries)."""
+
+import pytest
+
+from repro.core import ProcessKind
+from repro.core.scenarios import build_table1
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.faults.retry import RetryPolicy
+from repro.investigation.pipeline import (
+    InvestigationPipeline,
+    suppression_split,
+)
+
+
+def make_injector(*specs, seed=7):
+    return FaultInjector(FaultPlan(seed=seed, specs=tuple(specs)))
+
+
+def needs_process_scene():
+    return next(
+        s for s in build_table1() if s.paper_needs_process
+    )
+
+
+class TestValidityAtAcquisition:
+    def test_instrument_expiring_in_the_lag_does_not_authorize(self):
+        """Satellite (b): validity is checked when the warrant is
+        *executed*, not when it issues."""
+        injector = make_injector(
+            FaultSpec(
+                kind=FaultKind.INSTRUMENT_EXPIRY, probability=1.0, param=30.0
+            )
+        )
+        pipeline = InvestigationPipeline(
+            injector=injector, acquisition_lag=600.0
+        )
+        outcome = pipeline.run_scene(
+            needs_process_scene(), obtain_process=True
+        )
+        assert outcome.process_obtained is ProcessKind.NONE
+        assert outcome.suppressed
+        assert any(
+            "no longer valid at acquisition time" in note
+            for note in outcome.interruptions
+        )
+        # The re-issued instrument expired too, and that is recorded.
+        assert any(
+            "also expired" in note for note in outcome.interruptions
+        )
+
+    def test_instrument_surviving_the_lag_authorizes(self):
+        injector = make_injector(
+            FaultSpec(
+                kind=FaultKind.INSTRUMENT_EXPIRY,
+                probability=1.0,
+                param=3600.0,
+            )
+        )
+        pipeline = InvestigationPipeline(
+            injector=injector, acquisition_lag=600.0
+        )
+        outcome = pipeline.run_scene(
+            needs_process_scene(), obtain_process=True
+        )
+        assert outcome.process_obtained is not ProcessKind.NONE
+        assert not outcome.suppressed
+        assert outcome.interruptions == ()
+
+    def test_custody_log_carries_every_interruption(self):
+        injector = make_injector(
+            FaultSpec(
+                kind=FaultKind.INSTRUMENT_EXPIRY, probability=1.0, param=1.0
+            )
+        )
+        pipeline = InvestigationPipeline(
+            injector=injector, acquisition_lag=600.0
+        )
+        outcome = pipeline.run_scene(
+            needs_process_scene(), obtain_process=True
+        )
+        assert outcome.interruptions
+        events = [entry.event for entry in outcome.custody.entries]
+        for interruption in outcome.interruptions:
+            assert any(interruption in event for event in events)
+
+
+class TestRetryAfterDenial:
+    def test_persistent_denial_exhausts_the_policy(self):
+        injector = make_injector(
+            FaultSpec(kind=FaultKind.COURT_DENIAL, probability=1.0)
+        )
+        pipeline = InvestigationPipeline(
+            injector=injector,
+            retry_policy=RetryPolicy(max_attempts=3, base_delay=60.0),
+        )
+        outcome = pipeline.run_scene(
+            needs_process_scene(), obtain_process=True
+        )
+        assert outcome.process_obtained is ProcessKind.NONE
+        assert outcome.application_attempts == 3
+        assert outcome.suppressed
+        assert any(
+            "denied after 3 attempt(s)" in note
+            for note in outcome.interruptions
+        )
+
+    def test_transient_denial_succeeds_on_reapplication(self):
+        """A denial scheduled once: the first application dies, the
+        re-application under backoff is granted."""
+        injector = make_injector(
+            FaultSpec(kind=FaultKind.COURT_DENIAL, at_times=(0.0,))
+        )
+        pipeline = InvestigationPipeline(
+            injector=injector,
+            retry_policy=RetryPolicy(max_attempts=3, base_delay=900.0),
+        )
+        outcome = pipeline.run_scene(
+            needs_process_scene(), obtain_process=True
+        )
+        assert outcome.process_obtained is not ProcessKind.NONE
+        assert outcome.application_attempts == 2
+        assert not outcome.suppressed
+
+
+class TestDefaultPathUnchanged:
+    def test_no_injector_means_no_interruptions(self):
+        pipeline = InvestigationPipeline()
+        scenarios = build_table1()
+        comply = pipeline.run_all(scenarios, obtain_process=True)
+        assert all(o.interruptions == () for o in comply)
+        assert all(not o.suppressed for o in comply)
+        non_comply = pipeline.run_all(scenarios, obtain_process=False)
+        assert suppression_split(non_comply) == (1.0, 0.0)
+
+    def test_negative_lag_rejected(self):
+        with pytest.raises(ValueError, match="acquisition_lag"):
+            InvestigationPipeline(acquisition_lag=-1.0)

@@ -1,0 +1,105 @@
+"""Unit tests for fault plans and specs."""
+
+import pytest
+
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+
+
+class TestFaultSpec:
+    def test_defaults_are_inert(self):
+        spec = FaultSpec(kind=FaultKind.LINK_DROP)
+        assert spec.probability == 0.0
+        assert spec.at_times == ()
+        assert spec.target == "*"
+
+    @pytest.mark.parametrize("probability", [-0.1, 1.1])
+    def test_probability_out_of_range(self, probability):
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec(kind=FaultKind.LINK_DROP, probability=probability)
+
+    def test_negative_scheduled_time(self):
+        with pytest.raises(ValueError, match="scheduled"):
+            FaultSpec(kind=FaultKind.TAP_DROPOUT, at_times=(-1.0,))
+
+    def test_negative_param(self):
+        with pytest.raises(ValueError, match="param"):
+            FaultSpec(kind=FaultKind.COURT_LATENCY, param=-5.0)
+
+    def test_empty_target(self):
+        with pytest.raises(ValueError, match="target"):
+            FaultSpec(kind=FaultKind.LINK_DROP, target="")
+
+    def test_target_matching(self):
+        spec = FaultSpec(kind=FaultKind.LINK_DROP, target="link:a-b")
+        assert spec.matches_target("link:a-b")
+        assert spec.matches_target("link:a-b (upstream)")
+        assert not spec.matches_target("link:b-c")
+        assert FaultSpec(kind=FaultKind.LINK_DROP).matches_target("anything")
+
+    def test_describe_is_stable(self):
+        spec = FaultSpec(
+            kind=FaultKind.COURT_LATENCY,
+            probability=0.25,
+            at_times=(3.0,),
+            target="application:officer",
+            param=120.0,
+        )
+        assert spec.describe() == (
+            "court-latency p=0.250000 at=[3.000000] "
+            "target=application:officer param=120.000000"
+        )
+
+
+class TestFaultPlan:
+    def test_for_kind_preserves_order(self):
+        first = FaultSpec(kind=FaultKind.LINK_DROP, probability=0.1)
+        second = FaultSpec(kind=FaultKind.LINK_DROP, probability=0.2)
+        other = FaultSpec(kind=FaultKind.TAP_DROPOUT, probability=0.3)
+        plan = FaultPlan(seed=1, specs=(first, other, second))
+        assert plan.for_kind(FaultKind.LINK_DROP) == (first, second)
+        assert plan.for_kind(FaultKind.COURT_DENIAL) == ()
+
+    def test_kinds_in_taxonomy_order(self):
+        plan = FaultPlan(
+            seed=1,
+            specs=(
+                FaultSpec(kind=FaultKind.COURT_DENIAL, probability=0.1),
+                FaultSpec(kind=FaultKind.LINK_DROP, probability=0.1),
+            ),
+        )
+        assert plan.kinds() == (FaultKind.LINK_DROP, FaultKind.COURT_DENIAL)
+
+
+class TestRandomizedPlan:
+    def test_same_seed_same_plan(self):
+        assert FaultPlan.randomized(42) == FaultPlan.randomized(42)
+
+    def test_different_seeds_eventually_differ(self):
+        plans = {FaultPlan.randomized(seed).describe() for seed in range(10)}
+        assert len(plans) > 1
+
+    def test_probabilities_bounded_by_intensity(self):
+        for seed in range(30):
+            plan = FaultPlan.randomized(seed, intensity=0.05)
+            assert all(
+                0.0 < spec.probability <= 0.05 for spec in plan.specs
+            )
+
+    def test_duration_kinds_get_params(self):
+        for seed in range(50):
+            plan = FaultPlan.randomized(seed)
+            for spec in plan.for_kind(FaultKind.INSTRUMENT_EXPIRY):
+                assert 1.0 <= spec.param <= 300.0
+            for spec in plan.for_kind(FaultKind.COURT_LATENCY):
+                assert spec.param >= 600.0
+
+    @pytest.mark.parametrize("intensity", [0.0, 1.5, -0.2])
+    def test_bad_intensity(self, intensity):
+        with pytest.raises(ValueError, match="intensity"):
+            FaultPlan.randomized(1, intensity=intensity)
+
+    def test_kind_pool_respected(self):
+        pool = (FaultKind.LINK_DROP, FaultKind.TAP_DROPOUT)
+        for seed in range(30):
+            plan = FaultPlan.randomized(seed, kinds=pool)
+            assert set(plan.kinds()) <= set(pool)

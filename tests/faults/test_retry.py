@@ -1,0 +1,99 @@
+"""Unit tests for the retry policy and its driver."""
+
+import pytest
+
+from repro.faults.errors import CourtFault, FaultError
+from repro.faults.retry import RetryPolicy, run_with_retries
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule(self):
+        policy = RetryPolicy(
+            max_attempts=4, base_delay=10.0, multiplier=3.0
+        )
+        assert policy.schedule() == (10.0, 30.0, 90.0)
+        assert policy.total_backoff() == 130.0
+
+    def test_max_delay_caps_growth(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=100.0, multiplier=10.0, max_delay=500.0
+        )
+        assert policy.schedule() == (100.0, 500.0, 500.0, 500.0)
+
+    def test_single_attempt_has_empty_schedule(self):
+        assert RetryPolicy(max_attempts=1).schedule() == ()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -1.0},
+            {"multiplier": 0.5},
+            {"base_delay": 100.0, "max_delay": 50.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_negative_retry_index(self):
+        with pytest.raises(ValueError, match="retry index"):
+            RetryPolicy().delay(-1)
+
+
+class TestRunWithRetries:
+    def test_first_attempt_success(self):
+        result, attempts, elapsed = run_with_retries(
+            lambda now: "done", RetryPolicy(), start=5.0
+        )
+        assert (result, attempts, elapsed) == ("done", 1, 0.0)
+
+    def test_retries_advance_simulated_time(self):
+        seen_times = []
+
+        def flaky(now):
+            seen_times.append(now)
+            if len(seen_times) < 3:
+                raise CourtFault("denied")
+            return "granted"
+
+        policy = RetryPolicy(max_attempts=3, base_delay=60.0, multiplier=2.0)
+        result, attempts, elapsed = run_with_retries(flaky, policy)
+        assert result == "granted"
+        assert attempts == 3
+        assert seen_times == [0.0, 60.0, 180.0]
+        assert elapsed == 180.0
+
+    def test_exhaustion_raises_last_error(self):
+        def always_failing(now):
+            raise CourtFault("denied")
+
+        with pytest.raises(CourtFault):
+            run_with_retries(
+                always_failing, RetryPolicy(max_attempts=2, base_delay=1.0)
+            )
+
+    def test_unlisted_exceptions_propagate_immediately(self):
+        calls = []
+
+        def broken(now):
+            calls.append(now)
+            raise KeyError("not a fault")
+
+        with pytest.raises(KeyError):
+            run_with_retries(broken, RetryPolicy(max_attempts=5))
+        assert len(calls) == 1
+
+    def test_on_retry_callback_sees_backoff_times(self):
+        observed = []
+
+        def failing(now):
+            raise FaultError("nope")
+
+        with pytest.raises(FaultError):
+            run_with_retries(
+                failing,
+                RetryPolicy(max_attempts=3, base_delay=10.0),
+                on_retry=lambda index, exc, at: observed.append((index, at)),
+            )
+        assert observed == [(0, 10.0), (1, 30.0)]

@@ -1,0 +1,267 @@
+"""Each substrate's fault surface, exercised one fault at a time."""
+
+import pytest
+
+from repro.core import ProcessKind, Standard
+from repro.court.application import Fact, ProcessApplication
+from repro.court.docket import DEFAULT_VALIDITY
+from repro.court.magistrate import Magistrate
+from repro.faults.errors import StorageFault, TransientReadError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.netsim.address import IpAddress, MacAddress
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Link
+from repro.netsim.node import Host
+from repro.netsim.packet import Packet
+from repro.netsim.sniffer import FullInterceptTap, PenRegisterTap
+from repro.storage.blockdev import BlockDevice, image_device
+
+
+def make_injector(*specs, seed=7):
+    return FaultInjector(FaultPlan(seed=seed, specs=tuple(specs)))
+
+
+def certain(kind, **kwargs):
+    return FaultSpec(kind=kind, probability=1.0, **kwargs)
+
+
+def wired_pair(injector=None):
+    sim = Simulator()
+    alice = Host("alice", sim, MacAddress(1), IpAddress(1))
+    bob = Host("bob", sim, MacAddress(2), IpAddress(2))
+    link = Link(sim, alice, bob, latency=0.01, injector=injector)
+    return sim, alice, bob, link
+
+
+def packet_to(dst_ip, payload="hello"):
+    return Packet(
+        src_mac=MacAddress(1),
+        dst_mac=MacAddress(2),
+        src_ip=IpAddress(1),
+        dst_ip=dst_ip,
+        src_port=1000,
+        dst_port=80,
+        payload=payload,
+    )
+
+
+class TestLinkFaults:
+    def test_drop_loses_packet_after_tap_vantage(self):
+        injector = make_injector(certain(FaultKind.LINK_DROP))
+        sim, alice, bob, link = wired_pair(injector)
+        tap = FullInterceptTap("full")
+        link.attach_tap(tap)
+        link.transmit(packet_to(bob.ip), alice)
+        sim.run()
+        assert bob.received == []
+        assert link.packets_dropped == 1
+        # The tap sits before the in-transit loss: it still observes.
+        assert len(tap.captures) == 1
+
+    def test_flap_loses_packet_before_tap_vantage(self):
+        injector = make_injector(certain(FaultKind.LINK_FLAP))
+        sim, alice, bob, link = wired_pair(injector)
+        tap = FullInterceptTap("full")
+        link.attach_tap(tap)
+        link.transmit(packet_to(bob.ip), alice)
+        sim.run()
+        assert bob.received == []
+        assert tap.captures == ()
+        assert link.packets_dropped == 1
+
+    def test_duplicate_delivers_twice(self):
+        injector = make_injector(certain(FaultKind.LINK_DUPLICATE))
+        sim, alice, bob, link = wired_pair(injector)
+        link.transmit(packet_to(bob.ip), alice)
+        sim.run()
+        assert len(bob.received) == 2
+        assert link.packets_duplicated == 1
+
+    def test_reorder_lets_later_traffic_overtake(self):
+        injector = make_injector(
+            FaultSpec(
+                kind=FaultKind.LINK_REORDER, at_times=(0.0,), param=0.5
+            )
+        )
+        sim, alice, bob, link = wired_pair(injector)
+        link.transmit(packet_to(bob.ip, payload="first"), alice)
+        sim.schedule(
+            0.1, lambda: link.transmit(packet_to(bob.ip, payload="second"), alice)
+        )
+        sim.run()
+        assert [p.payload for p in bob.received] == ["second", "first"]
+
+    def test_every_injection_is_logged(self):
+        injector = make_injector(certain(FaultKind.LINK_DROP))
+        sim, alice, bob, link = wired_pair(injector)
+        link.transmit(packet_to(bob.ip), alice)
+        sim.run()
+        assert injector.fired(FaultKind.LINK_DROP) == 1
+        assert "link:alice-bob" in injector.render_log()
+
+
+class TestTapDropout:
+    def test_dropout_loses_records_not_capability(self):
+        """A pen register that misses packets never sees payload."""
+        injector = make_injector(
+            FaultSpec(kind=FaultKind.TAP_DROPOUT, at_times=(2.0,))
+        )
+        tap = PenRegisterTap("pen", injector=injector)
+        tap.observe(packet_to(IpAddress(2), payload="secret one"), 1.0)
+        tap.observe(packet_to(IpAddress(2), payload="secret two"), 2.0)
+        tap.observe(packet_to(IpAddress(2), payload="secret three"), 3.0)
+        assert tap.dropped_count == 1
+        assert len(tap.records) == 2
+        for record in tap.records:
+            assert not hasattr(record, "payload")
+            assert "secret" not in repr(record)
+
+    def test_dropout_only_affects_matching_traffic(self):
+        injector = make_injector(certain(FaultKind.TAP_DROPOUT))
+        tap = PenRegisterTap("pen", target_ip=IpAddress(1), injector=injector)
+        # Addressed to the target: matched, then dropped by the fault.
+        tap.observe(packet_to(IpAddress(2)), 1.0)
+        # Not the tap's target at all: no match, no dropout consultation.
+        other = Packet(
+            src_mac=MacAddress(9),
+            dst_mac=MacAddress(8),
+            src_ip=IpAddress(9),
+            dst_ip=IpAddress(8),
+            src_port=1,
+            dst_port=2,
+            payload="unrelated",
+        )
+        tap.observe(other, 2.0)
+        assert tap.dropped_count == 1
+        assert injector.fired(FaultKind.TAP_DROPOUT) == 1
+
+
+class TestStorageFaults:
+    def _filled_device(self, injector):
+        device = BlockDevice(n_blocks=8, block_size=16, injector=injector)
+        for index in range(8):
+            device.write_block(index, bytes([index]) * 16)
+        return device
+
+    def test_transient_read_error_raises_then_recovers(self):
+        injector = make_injector(
+            FaultSpec(kind=FaultKind.STORAGE_READ_ERROR, at_times=(0.0,))
+        )
+        device = self._filled_device(injector)
+        with pytest.raises(TransientReadError):
+            device.read_block(0)
+        assert device.read_block(0) == bytes([0]) * 16
+        assert device.read_errors == 1
+
+    def test_bit_rot_corrupts_the_read_not_the_device(self):
+        injector = make_injector(
+            FaultSpec(kind=FaultKind.STORAGE_BIT_ROT, at_times=(0.0,))
+        )
+        device = self._filled_device(injector)
+        corrupted = device.read_block(3)
+        assert corrupted != bytes([3]) * 16
+        assert device.read_block(3) == bytes([3]) * 16
+        assert device.corrupted_reads == 1
+
+    def test_imaging_retries_through_transient_errors(self):
+        injector = make_injector(
+            FaultSpec(
+                kind=FaultKind.STORAGE_READ_ERROR, at_times=(0.0,)
+            )
+        )
+        device = self._filled_device(injector)
+        image = image_device(device, max_attempts=3)
+        assert image.sha256() == device.sha256()
+
+    def test_imaging_detects_and_rereads_silent_corruption(self):
+        injector = make_injector(
+            FaultSpec(kind=FaultKind.STORAGE_BIT_ROT, at_times=(0.0,))
+        )
+        device = self._filled_device(injector)
+        image = image_device(device, max_attempts=3)
+        assert image.sha256() == device.sha256()
+
+    def test_imaging_fails_loudly_under_persistent_corruption(self):
+        injector = make_injector(certain(FaultKind.STORAGE_BIT_ROT))
+        device = self._filled_device(injector)
+        with pytest.raises(StorageFault):
+            image_device(device, max_attempts=2)
+
+
+def sufficient_application(applied_at=0.0):
+    return ProcessApplication(
+        kind=ProcessKind.SEARCH_WARRANT,
+        applicant="officer",
+        facts=(
+            Fact(
+                description="probable cause on file",
+                supports=Standard.PROBABLE_CAUSE,
+            ),
+        ),
+        applied_at=applied_at,
+        target_place="the suspect's server",
+        target_items=("records",),
+    )
+
+
+class TestCourtFaults:
+    def test_injected_denial_overrides_sufficient_showing(self):
+        magistrate = Magistrate(
+            injector=make_injector(certain(FaultKind.COURT_DENIAL))
+        )
+        decision = magistrate.review(sufficient_application())
+        assert not decision.granted
+        assert "injected court fault" in decision.reason
+        assert magistrate.docket.applications_denied == 1
+
+    def test_latency_delays_issuance(self):
+        injector = make_injector(
+            certain(FaultKind.COURT_LATENCY, param=3600.0)
+        )
+        magistrate = Magistrate(injector=injector)
+        decision = magistrate.review(sufficient_application(applied_at=10.0))
+        assert decision.granted
+        assert decision.delay == 3600.0
+        assert decision.instrument.issued_at == 3610.0
+
+    def test_injected_expiry_shortens_validity(self):
+        injector = make_injector(
+            certain(FaultKind.INSTRUMENT_EXPIRY, param=30.0)
+        )
+        magistrate = Magistrate(injector=injector)
+        decision = magistrate.review(sufficient_application())
+        instrument = decision.instrument
+        assert instrument.expires_at - instrument.issued_at == 30.0
+        assert not instrument.is_valid(31.0)
+
+    def test_expiry_never_lengthens_validity(self):
+        default = DEFAULT_VALIDITY[ProcessKind.SEARCH_WARRANT]
+        injector = make_injector(
+            certain(FaultKind.INSTRUMENT_EXPIRY, param=default * 100)
+        )
+        magistrate = Magistrate(injector=injector)
+        decision = magistrate.review(sufficient_application())
+        instrument = decision.instrument
+        assert instrument.expires_at - instrument.issued_at == default
+
+    def test_faultless_magistrate_unchanged(self):
+        decision = Magistrate().review(sufficient_application())
+        assert decision.granted
+        assert decision.delay == 0.0
+
+
+class TestOnionChurn:
+    def test_churn_loses_cells_beyond_uniform_loss(self):
+        from repro.anonymity.onion import OnionNetwork
+
+        injector = make_injector(certain(FaultKind.RELAY_CHURN))
+        sim = Simulator()
+        onion = OnionNetwork(sim, n_relays=5, seed=3, injector=injector)
+        circuit = onion.build_circuit("suspect", "server")
+        for _ in range(10):
+            circuit.send_downstream()
+        sim.run()
+        assert circuit.client_arrival_times() == []
+        assert circuit.cells_lost == 10
+        assert injector.fired(FaultKind.RELAY_CHURN) == 10
