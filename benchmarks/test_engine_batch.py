@@ -1,0 +1,67 @@
+"""Batched + memoized ruling benchmark: the engine's bulk hot path.
+
+The production story (gating every acquisition under heavy traffic)
+rests on ``evaluate_many`` over a cached engine.  This benchmark pins the
+two claims ``repro bench`` reports on the same 5k corpus:
+
+* steady state (warm cache) beats the uncached per-action loop outright;
+* memoization is invisible — cached and uncached rulings are identical.
+"""
+
+import time
+
+from repro.core import ComplianceEngine, RulingCache
+from repro.workloads import action_corpus
+
+CORPUS_SIZE = 5000
+SEED = 99
+
+
+def test_cached_batch_beats_uncached_loop(benchmark):
+    corpus = action_corpus(CORPUS_SIZE, seed=SEED)
+    uncached = ComplianceEngine()
+    cached = ComplianceEngine(cache=RulingCache(maxsize=2 * CORPUS_SIZE))
+    cached.evaluate_many(corpus)  # warm the cache: steady-state behaviour
+
+    start = time.perf_counter()
+    for action in corpus:
+        uncached.evaluate(action)
+    uncached_s = time.perf_counter() - start
+
+    rulings = benchmark.pedantic(
+        cached.evaluate_many, args=(corpus,), rounds=1
+    )
+    start = time.perf_counter()
+    cached.evaluate_many(corpus)
+    hot_s = time.perf_counter() - start
+
+    assert len(rulings) == CORPUS_SIZE
+    assert hot_s < uncached_s, (
+        f"warm cached batch ({hot_s:.3f}s) should beat the uncached "
+        f"per-action loop ({uncached_s:.3f}s)"
+    )
+
+
+def test_hot_cache_hit_rate_is_total(benchmark):
+    corpus = action_corpus(CORPUS_SIZE, seed=SEED)
+    engine = ComplianceEngine(cache=RulingCache(maxsize=2 * CORPUS_SIZE))
+    engine.evaluate_many(corpus)
+    engine.cache_stats.reset()
+    benchmark.pedantic(engine.evaluate_many, args=(corpus,), rounds=1)
+    assert engine.cache_stats.hit_rate == 1.0
+    assert engine.cache_stats.evictions == 0
+
+
+def test_cached_rulings_identical_to_uncached(benchmark):
+    corpus = action_corpus(CORPUS_SIZE, seed=SEED)
+    uncached = ComplianceEngine()
+    cached = ComplianceEngine(cache=RulingCache(maxsize=2 * CORPUS_SIZE))
+
+    def both():
+        return (
+            [r.to_dict() for r in uncached.evaluate_many(corpus)],
+            [r.to_dict() for r in cached.evaluate_many(corpus)],
+        )
+
+    fresh_payloads, cached_payloads = benchmark.pedantic(both, rounds=1)
+    assert fresh_payloads == cached_payloads

@@ -10,6 +10,7 @@ Usage::
     python -m repro lint                  # AST-lint the repo's invariants
     python -m repro analyze-plan table1   # static plan analysis
     python -m repro chaos --seed 7        # paper invariants under faults
+    python -m repro bench --quick         # engine benchmarks -> BENCH_engine.json
 """
 
 from __future__ import annotations
@@ -260,12 +261,31 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             n_plans=_CHAOS_BUDGETS[args.budget],
             scenes=args.scenes,
             intensity=args.intensity,
+            max_workers=args.workers,
         )
     except ValueError as error:
         print(error)
         return 1
     print(report.render())
     return 0 if report.ok else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import render_report, run_bench
+
+    try:
+        report, ok = run_bench(
+            quick=args.quick,
+            seed=args.seed,
+            corpus_size=args.corpus,
+            out=args.out,
+        )
+    except ValueError as error:
+        print(error)
+        return 1
+    print(render_report(report))
+    print(f"wrote {args.out}")
+    return 0 if ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -386,7 +406,41 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.15,
         help="upper bound on per-fault probabilities",
     )
+    chaos.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "process-pool workers for the plan sweep "
+            "(default: one per CPU; 1 forces the serial path)"
+        ),
+    )
     chaos.set_defaults(func=_cmd_chaos)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="engine benchmarks + cache differential -> BENCH_engine.json",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller corpus and chaos sweep, for CI smoke runs",
+    )
+    bench.add_argument(
+        "--seed", type=int, default=99, help="benchmark corpus seed"
+    )
+    bench.add_argument(
+        "--corpus",
+        type=int,
+        default=None,
+        help="override the benchmark corpus size",
+    )
+    bench.add_argument(
+        "--out",
+        default="BENCH_engine.json",
+        help="where to write the JSON report",
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     authorities = subparsers.add_parser(
         "authorities", help="list the citation registry"

@@ -19,6 +19,7 @@ from repro.core.action import (
     DoctrineFacts,
     InvestigativeAction,
 )
+from repro.core.cache import DEFAULT_CACHE_SIZE, CacheStats, RulingCache
 from repro.core.advisor import (
     Feasibility,
     RedesignSuggestion,
@@ -33,6 +34,11 @@ from repro.core.caselaw import (
 )
 from repro.core.context import EnvironmentContext
 from repro.core.engine import ComplianceEngine, evaluate
+from repro.core.fingerprint import (
+    ActionFingerprint,
+    action_fingerprint,
+    fingerprint_digest,
+)
 from repro.core.extended_scenarios import (
     ExtendedScene,
     build_extended_catalogue,
@@ -70,6 +76,7 @@ from repro.core.scope import (
 )
 
 __all__ = [
+    "ActionFingerprint",
     "ActionInterview",
     "Actor",
     "Admissibility",
@@ -77,9 +84,11 @@ __all__ = [
     "Authority",
     "AuthorityKind",
     "AuthorityRegistry",
+    "CacheStats",
     "ComplianceEngine",
     "ConsentFacts",
     "ConsentScope",
+    "DEFAULT_CACHE_SIZE",
     "DataKind",
     "DoctrineFacts",
     "EnvironmentContext",
@@ -100,18 +109,21 @@ __all__ = [
     "Requirement",
     "ResearchAdvisor",
     "Ruling",
+    "RulingCache",
     "Scenario",
     "ScopeDecision",
     "Standard",
     "TechniqueAssessment",
     "Timing",
     "WarrantScope",
+    "action_fingerprint",
     "analyze_privacy",
     "build_default_registry",
     "build_extended_catalogue",
     "build_table1",
     "classify_record",
     "evaluate",
+    "fingerprint_digest",
     "locations_requiring_new_warrants",
     "run_interview",
 ]

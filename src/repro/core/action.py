@@ -125,3 +125,14 @@ class InvestigativeAction:
     def real_time(self) -> bool:
         """Whether acquisition is contemporaneous with transmission."""
         return self.timing is Timing.REAL_TIME
+
+    def fingerprint(self) -> tuple:
+        """Canonical hashable projection of this action's ruling inputs.
+
+        Two actions with equal fingerprints always receive identical
+        rulings; see :mod:`repro.core.fingerprint` for the normalization
+        rules (``description`` is excluded — the engine never reads it).
+        """
+        from repro.core.fingerprint import action_fingerprint
+
+        return action_fingerprint(self)

@@ -19,10 +19,14 @@ citation-bearing reasoning trace.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
 from repro.core.action import InvestigativeAction
+from repro.core.cache import CacheStats, RulingCache
 from repro.core.caselaw import AuthorityRegistry, build_default_registry
 from repro.core.enums import LegalSource, ProcessKind
 from repro.core.exceptions import gather_exceptions
+from repro.core.fingerprint import action_fingerprint
 from repro.core.privacy import analyze_privacy
 from repro.core.ruling import (
     AppliedException,
@@ -40,18 +44,91 @@ class ComplianceEngine:
     always produces the same ruling.  An optional
     :class:`~repro.core.caselaw.AuthorityRegistry` validates that every
     citation emitted by the rule modules actually exists.
+
+    Args:
+        registry: Authority registry citations are validated against.
+        cache: Memoization for rulings, keyed by action fingerprint
+            (:func:`~repro.core.fingerprint.action_fingerprint`).  Pass a
+            :class:`~repro.core.cache.RulingCache` to share one across
+            engines, an ``int`` for a private LRU cache of that size, or
+            ``None`` (the default) for no caching — every call evaluates
+            from scratch, exactly as before caching existed.
     """
 
-    def __init__(self, registry: AuthorityRegistry | None = None) -> None:
+    def __init__(
+        self,
+        registry: AuthorityRegistry | None = None,
+        cache: RulingCache | int | None = None,
+    ) -> None:
         self._registry = registry or build_default_registry()
+        if isinstance(cache, int):
+            cache = RulingCache(maxsize=cache)
+        self._cache = cache
 
     @property
     def registry(self) -> AuthorityRegistry:
         """The authority registry rulings cite into."""
         return self._registry
 
+    @property
+    def cache(self) -> RulingCache | None:
+        """The ruling cache, or ``None`` for an uncached engine."""
+        return self._cache
+
+    @property
+    def cache_stats(self) -> CacheStats | None:
+        """Hit/miss/eviction counters, or ``None`` for an uncached engine."""
+        return self._cache.stats if self._cache is not None else None
+
     def evaluate(self, action: InvestigativeAction) -> Ruling:
-        """Produce a :class:`Ruling` for one investigative action."""
+        """Produce a :class:`Ruling` for one investigative action.
+
+        On a cached engine the ruling is served from the LRU cache when an
+        equal-fingerprint action was ruled on before; cached and fresh
+        rulings are indistinguishable (same trace, same ``explain()``).
+        """
+        if self._cache is None:
+            return self._evaluate_uncached(action)
+        fingerprint = action_fingerprint(action)
+        ruling = self._cache.get(fingerprint)
+        if ruling is None:
+            ruling = self._evaluate_uncached(action)
+            self._cache.put(fingerprint, ruling)
+        return ruling
+
+    def evaluate_many(
+        self, actions: Iterable[InvestigativeAction]
+    ) -> list[Ruling]:
+        """Rule on a batch of actions, deduplicating by fingerprint.
+
+        Equal-fingerprint actions are evaluated once per batch even on an
+        uncached engine (a transient per-call memo); a cached engine also
+        consults and feeds its persistent LRU cache, so repeated batches
+        approach pure lookup speed.  Output order matches input order,
+        ruling-for-ruling identical to calling :meth:`evaluate` in a loop.
+        """
+        rulings: list[Ruling] = []
+        if self._cache is None:
+            memo: dict = {}
+            for action in actions:
+                fingerprint = action_fingerprint(action)
+                ruling = memo.get(fingerprint)
+                if ruling is None:
+                    ruling = self._evaluate_uncached(action)
+                    memo[fingerprint] = ruling
+                rulings.append(ruling)
+            return rulings
+        for action in actions:
+            fingerprint = action_fingerprint(action)
+            ruling = self._cache.get(fingerprint)
+            if ruling is None:
+                ruling = self._evaluate_uncached(action)
+                self._cache.put(fingerprint, ruling)
+            rulings.append(ruling)
+        return rulings
+
+    def _evaluate_uncached(self, action: InvestigativeAction) -> Ruling:
+        """The full rule pipeline, bypassing any cache."""
         privacy = analyze_privacy(action)
 
         requirements: list[Requirement] = []
@@ -158,8 +235,12 @@ _ENGINE: ComplianceEngine | None = None
 
 
 def _default_engine() -> ComplianceEngine:
-    """Lazily constructed singleton engine for the convenience API."""
+    """Lazily constructed singleton engine for the convenience API.
+
+    The singleton carries a default-size ruling cache: repeated module-level
+    :func:`evaluate` calls on equal-fingerprint actions are pure lookups.
+    """
     global _ENGINE
     if _ENGINE is None:
-        _ENGINE = ComplianceEngine()
+        _ENGINE = ComplianceEngine(cache=RulingCache())
     return _ENGINE

@@ -1,0 +1,142 @@
+"""Canonical fingerprints for investigative actions.
+
+The engine is a pure function of a subset of an
+:class:`~repro.core.action.InvestigativeAction`'s fields: the ruling never
+reads ``description`` (free text for humans), and several other fields are
+read only behind guards in the rule modules.  The fingerprint is the
+canonical, hashable projection of exactly the facts the ruling depends on,
+with the guarded fields normalized to their effective values:
+
+* ``description`` is dropped — no rule module reads it.
+* ``context.provider_serves_public`` is normalized ``None -> True``
+  (:func:`repro.core.statutes.sca.provider_role_for` treats an unknown
+  provider as public), and to ``True`` whenever ``provider_role`` is set
+  explicitly (the SCA returns the explicit role before ever consulting it).
+* ``context.technology_in_general_public_use`` is normalized to ``False``
+  unless ``home_interior`` is set — the Kyllo factor is only consulted for
+  acquisitions that reveal the home interior
+  (:func:`repro.core.privacy._objective_prong`).
+* Consent collapses to ``(effective, scope-if-effective,
+  covers_target_data)``: every consult in the rule modules goes through
+  :meth:`~repro.core.action.ConsentFacts.effective`, reads ``scope`` only
+  after ``effective()`` held, or reads ``covers_target_data`` directly
+  (the computer-trespasser paths).
+
+Two actions with equal fingerprints therefore receive byte-identical
+rulings — including the full reasoning trace and ``explain()`` output —
+which is what makes the fingerprint safe as a memoization key.  The
+differential test suite re-proves this over a 10,000-action corpus on
+every run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core.action import InvestigativeAction
+
+#: A fingerprint is a flat tuple of enums/bools/None — hashable, orderable
+#: by Python's tuple hash, and cheap to build (a single attribute sweep,
+#: no dataclass recursion).
+ActionFingerprint = tuple
+
+_FIELD_NAMES = (
+    "actor",
+    "data_kind",
+    "timing",
+    "place",
+    "encrypted",
+    "knowingly_exposed",
+    "shared_with_others",
+    "delivered_to_recipient",
+    "provider_serves_public",
+    "provider_role",
+    "policy_eliminates_rep",
+    "home_interior",
+    "technology_in_general_public_use",
+    "abandoned",
+    "consent_effective",
+    "consent_scope",
+    "consent_covers_target_data",
+    "exigent_circumstances",
+    "plain_view",
+    "target_on_probation",
+    "emergency_pen_trap",
+    "hash_search_of_lawful_media",
+    "mining_of_lawful_data",
+    "credentials_lawfully_obtained",
+    "monitoring_own_network",
+    "victim_invited_monitoring",
+)
+
+
+def action_fingerprint(action: InvestigativeAction) -> ActionFingerprint:
+    """The canonical hashable projection of one action's ruling inputs.
+
+    Args:
+        action: The action to fingerprint.
+
+    Returns:
+        A flat tuple of the normalized fields the engine's ruling depends
+        on.  Equal fingerprints guarantee identical rulings.
+    """
+    ctx = action.context
+    consent = action.consent
+    doctrine = action.doctrine
+    consent_effective = consent.effective()
+    return (
+        action.actor,
+        action.data_kind,
+        action.timing,
+        ctx.place,
+        ctx.encrypted,
+        ctx.knowingly_exposed,
+        ctx.shared_with_others,
+        ctx.delivered_to_recipient,
+        (
+            True
+            if ctx.provider_role is not None
+            or ctx.provider_serves_public is None
+            else ctx.provider_serves_public
+        ),
+        ctx.provider_role,
+        ctx.policy_eliminates_rep,
+        ctx.home_interior,
+        (
+            ctx.technology_in_general_public_use
+            if ctx.home_interior
+            else False
+        ),
+        ctx.abandoned,
+        consent_effective,
+        consent.scope if consent_effective else None,
+        consent.covers_target_data,
+        doctrine.exigent_circumstances,
+        doctrine.plain_view,
+        doctrine.target_on_probation,
+        doctrine.emergency_pen_trap,
+        doctrine.hash_search_of_lawful_media,
+        doctrine.mining_of_lawful_data,
+        doctrine.credentials_lawfully_obtained,
+        doctrine.monitoring_own_network,
+        doctrine.victim_invited_monitoring,
+    )
+
+
+def fingerprint_digest(fingerprint: ActionFingerprint) -> str:
+    """Stable SHA-256 hex digest of a fingerprint.
+
+    Enum members render as ``ClassName.MEMBER`` so the digest survives
+    process restarts and is safe to persist (tuple ``hash()`` is salted
+    per interpreter; this is not).
+    """
+    rendered = "|".join(
+        f"{name}={value!s}"
+        for name, value in zip(_FIELD_NAMES, fingerprint)
+    )
+    return hashlib.sha256(rendered.encode("utf-8")).hexdigest()
+
+
+def describe_fingerprint(fingerprint: ActionFingerprint) -> dict:
+    """Field-name -> value view of a fingerprint, for debugging output."""
+    return dict(zip(_FIELD_NAMES, fingerprint))

@@ -22,10 +22,13 @@ confidence-scored partial result instead.
 from __future__ import annotations
 
 import dataclasses
+import os
 import random
+from concurrent.futures import ProcessPoolExecutor
 
 from repro.anonymity.onion import OnionNetwork
 from repro.anonymity.p2p import P2POverlay
+from repro.core.cache import RulingCache
 from repro.core.engine import ComplianceEngine
 from repro.core.scenarios import Scenario, build_table1
 from repro.faults.errors import StorageFault
@@ -162,10 +165,13 @@ def run_plan(
     injector = FaultInjector(plan)
     engine = engine or ComplianceEngine()
 
-    # Invariant: the law does not depend on the substrate's mood.
+    # Invariant: the law does not depend on the substrate's mood.  Ruled
+    # as one batch: on a cached engine, repeated plans over the same
+    # scenes reduce to pure fingerprint lookups.
+    rulings = engine.evaluate_many([s.action for s in scenarios])
     agreement = sum(
-        engine.evaluate(s.action).needs_process == s.paper_needs_process
-        for s in scenarios
+        ruling.needs_process == s.paper_needs_process
+        for ruling, s in zip(rulings, scenarios)
     )
 
     pipeline = InvestigationPipeline(
@@ -280,11 +286,48 @@ def _run_storage(seed: int, injector: FaultInjector) -> bool:
     return image.sha256() == device.sha256()
 
 
+#: Per-worker-process state for the parallel sweep: scenarios and a
+#: cached engine, built once per (process, scenes) pair and reused across
+#: every plan that worker executes.
+_WORKER_STATE: dict[str, tuple[tuple[Scenario, ...], ComplianceEngine]] = {}
+
+
+def _plan_worker(task: tuple[int, str, float]) -> PlanResult:
+    """Run one fault plan inside a pool worker.
+
+    Plans are seed-isolated — each builds its own injector, simulator,
+    overlay, and device from the seed — so workers share nothing and the
+    sweep's results are independent of worker count or scheduling.
+    """
+    seed, scenes, intensity = task
+    state = _WORKER_STATE.get(scenes)
+    if state is None:
+        state = (
+            select_scenes(scenes),
+            ComplianceEngine(cache=RulingCache()),
+        )
+        _WORKER_STATE[scenes] = state
+    scenarios, engine = state
+    return run_plan(seed, scenarios, intensity, engine)
+
+
+def resolve_workers(max_workers: int | None, n_plans: int) -> int:
+    """Resolve a ``--workers`` argument to an effective worker count.
+
+    ``None`` means one worker per CPU, capped at the plan count; anything
+    below 2 means run serially in-process.
+    """
+    if max_workers is None:
+        return min(n_plans, os.cpu_count() or 1)
+    return max(1, max_workers)
+
+
 def run_chaos(
     seed: int = 7,
     n_plans: int = 25,
     scenes: str = "all",
     intensity: float = 0.15,
+    max_workers: int | None = None,
 ) -> ChaosReport:
     """Run ``n_plans`` chaos plans and the determinism replay check.
 
@@ -292,16 +335,33 @@ def run_chaos(
     is then replayed and its injection-log digest must match byte for
     byte, which is what makes any chaos failure reproducible from the
     command line.
+
+    Because every plan is seed-isolated, the sweep fans out across a
+    process pool (``max_workers=None`` uses one worker per CPU, capped at
+    ``n_plans``; pass ``1`` to force the serial in-process path).  Results
+    are returned in seed order and are identical either way; the replay
+    check always runs in-process, so a pool-scheduling bug cannot mask a
+    determinism failure.
     """
     if n_plans < 1:
         raise ValueError(f"n_plans must be >= 1: {n_plans}")
     scenarios = select_scenes(scenes)
-    engine = ComplianceEngine()
-    results = tuple(
-        run_plan(seed + offset, scenarios, intensity, engine)
-        for offset in range(n_plans)
+    workers = resolve_workers(max_workers, n_plans)
+    if workers > 1:
+        tasks = [
+            (seed + offset, scenes, intensity) for offset in range(n_plans)
+        ]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = tuple(pool.map(_plan_worker, tasks))
+    else:
+        engine = ComplianceEngine(cache=RulingCache())
+        results = tuple(
+            run_plan(seed + offset, scenarios, intensity, engine)
+            for offset in range(n_plans)
+        )
+    replay = run_plan(
+        seed, scenarios, intensity, ComplianceEngine(cache=RulingCache())
     )
-    replay = run_plan(seed, scenarios, intensity, engine)
     deterministic = (
         replay.log_digest == results[0].log_digest
         and replay.split == results[0].split

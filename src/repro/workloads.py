@@ -9,6 +9,7 @@ always yields the same workload.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import random
 
 from repro.core.action import ConsentFacts, DoctrineFacts, InvestigativeAction
@@ -99,19 +100,23 @@ class LabeledAction:
 def labeled_corpus(
     n: int, seed: int = 0, engine: ComplianceEngine | None = None
 ) -> list[LabeledAction]:
-    """A corpus with engine labels attached (for regression snapshots)."""
+    """A corpus with engine labels attached (for regression snapshots).
+
+    Labelling goes through :meth:`ComplianceEngine.evaluate_many`, which
+    deduplicates equal-fingerprint actions within the batch — the labels
+    are identical to a per-action ``evaluate`` loop, just cheaper.
+    """
     engine = engine or ComplianceEngine()
-    labeled = []
-    for action in action_corpus(n, seed):
-        ruling = engine.evaluate(action)
-        labeled.append(
-            LabeledAction(
-                action=action,
-                required_process=ruling.required_process,
-                needs_process=ruling.needs_process,
-            )
+    actions = action_corpus(n, seed)
+    rulings = engine.evaluate_many(actions)
+    return [
+        LabeledAction(
+            action=action,
+            required_process=ruling.required_process,
+            needs_process=ruling.needs_process,
         )
-    return labeled
+        for action, ruling in zip(actions, rulings)
+    ]
 
 
 def process_distribution(
@@ -122,3 +127,14 @@ def process_distribution(
     for item in corpus:
         distribution[item.required_process] += 1
     return distribution
+
+
+def label_digest(corpus: list[LabeledAction]) -> str:
+    """SHA-256 over a labelled corpus's ordered required-process labels.
+
+    Stable across processes and platforms (enum *names*, not hashes), so
+    it can be checked into a golden file: any rule or generator drift that
+    changes even one label changes the digest.
+    """
+    joined = ",".join(item.required_process.name for item in corpus)
+    return hashlib.sha256(joined.encode("utf-8")).hexdigest()

@@ -1,0 +1,158 @@
+"""Tests for the canonical action fingerprint.
+
+The fingerprint's contract: equal fingerprints imply identical rulings.
+Each normalization (dropped description, provider facts, the Kyllo
+factor, collapsed ineffective consent) is tested both ways — the
+normalized variants collide, and the colliding actions really do get the
+same ruling.
+"""
+
+import dataclasses
+import random
+
+from repro.core import (
+    Actor,
+    ComplianceEngine,
+    ConsentFacts,
+    ConsentScope,
+    DataKind,
+    EnvironmentContext,
+    InvestigativeAction,
+    Place,
+    ProviderRole,
+    Timing,
+    action_fingerprint,
+    fingerprint_digest,
+)
+from repro.core.fingerprint import describe_fingerprint
+from repro.workloads import random_action
+
+_ENGINE = ComplianceEngine()
+
+
+def _base_action(**context_overrides) -> InvestigativeAction:
+    return InvestigativeAction(
+        description="baseline",
+        actor=Actor.GOVERNMENT,
+        data_kind=DataKind.CONTENT,
+        timing=Timing.STORED,
+        context=EnvironmentContext(
+            place=Place.THIRD_PARTY_PROVIDER, **context_overrides
+        ),
+    )
+
+
+class TestFingerprintBasics:
+    def test_hashable_and_deterministic(self):
+        action = _base_action()
+        assert hash(action_fingerprint(action)) == hash(
+            action_fingerprint(action)
+        )
+        assert action.fingerprint() == action_fingerprint(action)
+
+    def test_description_is_normalized_out(self):
+        a = _base_action()
+        b = dataclasses.replace(a, description="a very different label")
+        assert action_fingerprint(a) == action_fingerprint(b)
+        assert (
+            _ENGINE.evaluate(a).explain() == _ENGINE.evaluate(b).explain()
+        )
+
+    def test_distinct_rule_inputs_distinguish(self):
+        a = _base_action()
+        b = dataclasses.replace(a, timing=Timing.REAL_TIME)
+        assert action_fingerprint(a) != action_fingerprint(b)
+
+    def test_digest_is_stable_and_hex(self):
+        fingerprint = action_fingerprint(_base_action())
+        digest = fingerprint_digest(fingerprint)
+        assert digest == fingerprint_digest(fingerprint)
+        assert len(digest) == 64
+        int(digest, 16)  # must be valid hex
+
+    def test_describe_names_every_field(self):
+        fingerprint = action_fingerprint(_base_action())
+        described = describe_fingerprint(fingerprint)
+        assert len(described) == len(fingerprint)
+        assert described["place"] is Place.THIRD_PARTY_PROVIDER
+
+
+class TestNormalizations:
+    """Each collapse mirrors a guard in the rule modules; colliding
+    actions must also receive identical rulings."""
+
+    def _assert_collides_and_agrees(self, a, b):
+        assert action_fingerprint(a) == action_fingerprint(b)
+        assert (
+            _ENGINE.evaluate(a).to_dict() == _ENGINE.evaluate(b).to_dict()
+        )
+
+    def test_unknown_provider_treated_as_public(self):
+        # sca.provider_role_for: None means "assume the provider is public".
+        a = _base_action(provider_serves_public=None)
+        b = _base_action(provider_serves_public=True)
+        self._assert_collides_and_agrees(a, b)
+
+    def test_serves_public_dead_when_role_explicit(self):
+        # The SCA returns an explicit provider_role before consulting it.
+        a = _base_action(
+            provider_role=ProviderRole.RCS, provider_serves_public=False
+        )
+        b = _base_action(
+            provider_role=ProviderRole.RCS, provider_serves_public=True
+        )
+        self._assert_collides_and_agrees(a, b)
+
+    def test_kyllo_factor_dead_outside_home(self):
+        # privacy._objective_prong consults the technology factor only
+        # when home_interior is set.
+        a = _base_action(technology_in_general_public_use=True)
+        b = _base_action(technology_in_general_public_use=False)
+        self._assert_collides_and_agrees(a, b)
+
+    def test_kyllo_factor_live_inside_home(self):
+        a = _base_action(
+            home_interior=True, technology_in_general_public_use=True
+        )
+        b = _base_action(
+            home_interior=True, technology_in_general_public_use=False
+        )
+        assert action_fingerprint(a) != action_fingerprint(b)
+
+    def test_ineffective_consent_variants_collapse(self):
+        # Every rule-module consult goes through consent.effective();
+        # an involuntary consent and a revoked one are equally void.
+        base = _base_action()
+        a = dataclasses.replace(
+            base,
+            consent=ConsentFacts(scope=ConsentScope.TARGET, voluntary=False),
+        )
+        b = dataclasses.replace(
+            base,
+            consent=ConsentFacts(scope=ConsentScope.SPOUSE, revoked=True),
+        )
+        self._assert_collides_and_agrees(a, b)
+
+    def test_effective_consent_scope_distinguishes(self):
+        # An effective consent's scope appears in the ruling's trace.
+        base = _base_action()
+        a = dataclasses.replace(
+            base, consent=ConsentFacts(scope=ConsentScope.TARGET)
+        )
+        b = dataclasses.replace(
+            base, consent=ConsentFacts(scope=ConsentScope.SPOUSE)
+        )
+        assert action_fingerprint(a) != action_fingerprint(b)
+
+
+class TestFingerprintSoundnessSweep:
+    def test_equal_fingerprints_imply_equal_rulings(self):
+        """Over a random corpus, every fingerprint collision is harmless."""
+        rng = random.Random(123)
+        by_fingerprint = {}
+        for index in range(2000):
+            action = random_action(rng, index)
+            fingerprint = action_fingerprint(action)
+            payload = _ENGINE.evaluate(action).to_dict()
+            seen = by_fingerprint.setdefault(fingerprint, payload)
+            assert seen == payload

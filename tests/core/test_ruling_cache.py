@@ -1,0 +1,109 @@
+"""Unit tests for the LRU ruling cache and its counters."""
+
+import pytest
+
+from repro.core import ComplianceEngine, RulingCache, action_fingerprint
+from repro.core.cache import DEFAULT_CACHE_SIZE
+from repro.workloads import action_corpus
+
+
+def _rulings(n):
+    engine = ComplianceEngine()
+    actions = action_corpus(n, seed=42)
+    return [
+        (action_fingerprint(action), engine.evaluate(action))
+        for action in actions
+    ]
+
+
+class TestRulingCache:
+    def test_miss_then_hit(self):
+        cache = RulingCache(maxsize=4)
+        (fingerprint, ruling), *_ = _rulings(1)
+        assert cache.get(fingerprint) is None
+        cache.put(fingerprint, ruling)
+        assert cache.get(fingerprint) is ruling
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.evictions == 0
+        assert cache.stats.hit_rate == 0.5
+
+    def test_eviction_is_lru(self):
+        entries = _rulings(8)
+        unique = list({fp: r for fp, r in entries}.items())[:3]
+        assert len(unique) == 3, "need three distinct fingerprints"
+        cache = RulingCache(maxsize=2)
+        (fp_a, r_a), (fp_b, r_b), (fp_c, r_c) = unique
+        cache.put(fp_a, r_a)
+        cache.put(fp_b, r_b)
+        cache.get(fp_a)  # refresh A; B becomes LRU
+        cache.put(fp_c, r_c)  # evicts B
+        assert fp_a in cache and fp_c in cache
+        assert fp_b not in cache
+        assert cache.stats.evictions == 1
+        assert len(cache) == 2
+
+    def test_put_existing_refreshes_without_evicting(self):
+        entries = list({fp: r for fp, r in _rulings(8)}.items())[:2]
+        (fp_a, r_a), (fp_b, r_b) = entries
+        cache = RulingCache(maxsize=2)
+        cache.put(fp_a, r_a)
+        cache.put(fp_b, r_b)
+        cache.put(fp_a, r_a)  # refresh, not insert
+        assert cache.stats.evictions == 0
+        assert len(cache) == 2
+
+    def test_clear_keeps_counters(self):
+        cache = RulingCache(maxsize=4)
+        (fingerprint, ruling), *_ = _rulings(1)
+        cache.put(fingerprint, ruling)
+        cache.get(fingerprint)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+        cache.stats.reset()
+        assert cache.stats.lookups == 0
+        assert cache.stats.hit_rate == 0.0
+
+    def test_invalid_maxsize_rejected(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            RulingCache(maxsize=0)
+
+
+class TestEngineCacheWiring:
+    def test_uncached_engine_reports_no_stats(self):
+        engine = ComplianceEngine()
+        assert engine.cache is None
+        assert engine.cache_stats is None
+
+    def test_int_constructs_private_cache(self):
+        engine = ComplianceEngine(cache=16)
+        assert engine.cache is not None
+        assert engine.cache.maxsize == 16
+
+    def test_default_size_cache(self):
+        assert RulingCache().maxsize == DEFAULT_CACHE_SIZE
+
+    def test_shared_cache_across_engines(self):
+        shared = RulingCache()
+        first = ComplianceEngine(cache=shared)
+        second = ComplianceEngine(cache=shared)
+        action = action_corpus(1, seed=3)[0]
+        first.evaluate(action)
+        assert second.evaluate(action) is first.evaluate(action)
+        assert shared.stats.hits >= 2
+
+    def test_evaluate_hits_cache_on_repeat(self):
+        engine = ComplianceEngine(cache=RulingCache())
+        action = action_corpus(1, seed=5)[0]
+        first = engine.evaluate(action)
+        second = engine.evaluate(action)
+        assert first is second
+        assert engine.cache_stats.hits == 1
+        assert engine.cache_stats.misses == 1
+
+    def test_bounded_cache_evicts_under_pressure(self):
+        engine = ComplianceEngine(cache=RulingCache(maxsize=8))
+        engine.evaluate_many(action_corpus(200, seed=11))
+        assert len(engine.cache) <= 8
+        assert engine.cache_stats.evictions > 0

@@ -1,0 +1,49 @@
+"""The chaos sweep through the process pool must be a pure speedup.
+
+Plans are seed-isolated, so fanning them out across worker processes may
+change wall time but never results: the pooled sweep must equal the
+serial sweep plan for plan, and the determinism replay must keep holding.
+"""
+
+from repro.faults.chaos import _plan_worker, resolve_workers, run_chaos
+
+SCENES = "4,6,18"  # a fast subset; the full table is covered elsewhere
+
+
+class TestResolveWorkers:
+    def test_auto_caps_at_plan_count(self):
+        assert resolve_workers(None, 1) == 1
+        assert resolve_workers(None, 10_000) >= 1
+
+    def test_explicit_count_respected(self):
+        assert resolve_workers(3, 25) == 3
+
+    def test_floor_is_one(self):
+        assert resolve_workers(0, 25) == 1
+        assert resolve_workers(-4, 25) == 1
+
+
+class TestPooledSweep:
+    def test_pool_matches_serial_plan_for_plan(self):
+        serial = run_chaos(
+            seed=321, n_plans=4, scenes=SCENES, max_workers=1
+        )
+        pooled = run_chaos(
+            seed=321, n_plans=4, scenes=SCENES, max_workers=2
+        )
+        assert pooled.results == serial.results
+        assert pooled.deterministic
+        assert pooled.ok == serial.ok
+
+    def test_worker_entry_point_runs_one_plan(self):
+        result = _plan_worker((321, SCENES, 0.15))
+        serial = run_chaos(
+            seed=321, n_plans=1, scenes=SCENES, max_workers=1
+        )
+        assert result == serial.results[0]
+
+    def test_pool_preserves_seed_order(self):
+        pooled = run_chaos(
+            seed=50, n_plans=3, scenes=SCENES, max_workers=2
+        )
+        assert [r.seed for r in pooled.results] == [50, 51, 52]

@@ -93,6 +93,38 @@ class TestAuthorities:
         assert "reasonable expectation of privacy" in capsys.readouterr().out
 
 
+class TestBench:
+    def test_quick_bench_writes_report(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_engine.json"
+        code = main(
+            ["bench", "--quick", "--corpus", "200", "--out", str(out)]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "speedup (hot vs uncached)" in text
+        assert "differential: 200 actions, 0 mismatches" in text
+
+        import json
+
+        report = json.loads(out.read_text(encoding="utf-8"))
+        assert report["ok"] is True
+        assert report["differential"]["identical"] is True
+        assert report["differential"]["second_pass_hit_rate"] > 0
+        assert report["table1"]["agreement"] == "20/20"
+        assert report["corpus"]["speedup_hot"] > 1.0
+        assert (
+            report["latency"]["cached_hot"]["p50_us"]
+            <= report["latency"]["uncached"]["p99_us"]
+        )
+
+    def test_invalid_corpus_size_fails_cleanly(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_engine.json"
+        code = main(["bench", "--corpus", "-5", "--out", str(out)])
+        assert code == 1
+        assert "corpus size must be >= 1" in capsys.readouterr().out
+        assert not out.exists()
+
+
 class TestParser:
     def test_no_command_exits(self):
         with pytest.raises(SystemExit):

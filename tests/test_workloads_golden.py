@@ -1,0 +1,55 @@
+"""Golden-file regression: the labelled corpus must not drift silently.
+
+``tests/data/golden_corpus_5000_seed99.json`` pins the required-process
+histogram *and* a SHA-256 digest of the ordered labels of
+``labeled_corpus(5000, seed=99)``.  Any change to the workload generator,
+the engine's rules, or the enum vocabulary that moves even one label
+fails this test loudly.  If the drift is intentional, regenerate the
+golden file (see the module docstring of ``repro.workloads``) and commit
+it with the change that caused it.
+"""
+
+import json
+from pathlib import Path
+
+from repro.core import ProcessKind
+from repro.workloads import label_digest, labeled_corpus, process_distribution
+
+GOLDEN_PATH = (
+    Path(__file__).parent / "data" / "golden_corpus_5000_seed99.json"
+)
+
+
+class TestGoldenCorpus:
+    def test_distribution_and_digest_match_golden_file(self):
+        golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+        corpus = labeled_corpus(golden["corpus_size"], seed=golden["seed"])
+        distribution = {
+            kind.name: count
+            for kind, count in process_distribution(corpus).items()
+        }
+        assert distribution == golden["process_distribution"], (
+            "required-process histogram drifted from the golden file; "
+            "if intentional, regenerate tests/data/"
+            "golden_corpus_5000_seed99.json"
+        )
+        assert label_digest(corpus) == golden["label_digest"], (
+            "per-action labels drifted even though the histogram matches; "
+            "regenerate the golden file if this is an intended rule change"
+        )
+
+    def test_golden_file_is_internally_consistent(self):
+        golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+        assert (
+            sum(golden["process_distribution"].values())
+            == golden["corpus_size"]
+        )
+        assert set(golden["process_distribution"]) == {
+            kind.name for kind in ProcessKind
+        }
+        int(golden["label_digest"], 16)
+        assert len(golden["label_digest"]) == 64
+
+    def test_digest_is_order_sensitive(self):
+        corpus = labeled_corpus(50, seed=99)
+        assert label_digest(corpus) != label_digest(corpus[::-1])
