@@ -12,6 +12,7 @@ from repro.analysis.pylint_rules import (  # noqa: F401  (registration)
     empty_iterable,
     enum_dispatch,
     fault_swallow,
+    float_sweep,
     mutable_defaults,
     scenario_answers,
     technique_contract,

@@ -137,7 +137,10 @@ def _cmd_curve(args: argparse.Namespace) -> int:
 
     probabilities = [0.0, 0.25, 0.5, 0.75, 1.0]
     curve = compliance_curve(
-        probabilities, n_cases=args.cases, seed=args.seed
+        probabilities,
+        n_cases=args.cases,
+        seed=args.seed,
+        max_workers=args.workers,
     )
     print("prosecution success rate vs compliance probability:")
     for p in probabilities:
@@ -271,6 +274,23 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.techniques:
+        from repro.bench_techniques import (
+            render_techniques_report,
+            run_techniques_bench,
+        )
+
+        out = (
+            args.out if args.out != "BENCH_engine.json"
+            else "BENCH_techniques.json"
+        )
+        report, ok = run_techniques_bench(
+            quick=args.quick, seed=args.seed, out=out
+        )
+        print(render_techniques_report(report))
+        print(f"wrote {out}")
+        return 0 if ok else 1
+
     from repro.bench import render_report, run_bench
 
     try:
@@ -344,6 +364,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--cases", type=int, default=200, help="cases per probability"
     )
     curve.add_argument("--seed", type=int, default=9, help="RNG seed")
+    curve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="campaign worker processes (default 1 = serial; 0 or a "
+        "negative value also runs serially)",
+    )
     curve.set_defaults(func=_cmd_curve)
 
     lint = subparsers.add_parser(
@@ -438,7 +465,19 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--out",
         default="BENCH_engine.json",
-        help="where to write the JSON report",
+        help=(
+            "where to write the JSON report (with --techniques the "
+            "default becomes BENCH_techniques.json)"
+        ),
+    )
+    bench.add_argument(
+        "--techniques",
+        action="store_true",
+        help=(
+            "benchmark the vectorized detection kernels and the parallel "
+            "campaign against their scalar references instead "
+            "-> BENCH_techniques.json"
+        ),
     )
     bench.set_defaults(func=_cmd_bench)
 

@@ -34,10 +34,22 @@ from __future__ import annotations
 import hashlib
 
 from repro.core.action import InvestigativeAction
+from repro.core.enums import (
+    Actor,
+    ConsentScope,
+    DataKind,
+    Place,
+    ProviderRole,
+    Timing,
+)
 
-#: A fingerprint is a flat tuple of enums/bools/None — hashable, orderable
-#: by Python's tuple hash, and cheap to build (a single attribute sweep,
-#: no dataclass recursion).
+#: A fingerprint is a flat tuple of primitives (str/bool/None) — enum
+#: members are stored as their ``.value`` so tuple hashing stays entirely
+#: in C.  ``Enum.__hash__`` is a Python-level call, and the cache hashes
+#: each fingerprint up to three times per miss (get, membership check,
+#: insert); with ~5 enum members per 26-field tuple that overhead alone
+#: made a cold cached batch slower than the uncached loop.  Fields are
+#: positional, so same-valued members of *different* enums cannot collide.
 ActionFingerprint = tuple
 
 _FIELD_NAMES = (
@@ -84,22 +96,23 @@ def action_fingerprint(action: InvestigativeAction) -> ActionFingerprint:
     consent = action.consent
     doctrine = action.doctrine
     consent_effective = consent.effective()
+    provider_role = ctx.provider_role
     return (
-        action.actor,
-        action.data_kind,
-        action.timing,
-        ctx.place,
+        action.actor._value_,
+        action.data_kind._value_,
+        action.timing._value_,
+        ctx.place._value_,
         ctx.encrypted,
         ctx.knowingly_exposed,
         ctx.shared_with_others,
         ctx.delivered_to_recipient,
         (
             True
-            if ctx.provider_role is not None
+            if provider_role is not None
             or ctx.provider_serves_public is None
             else ctx.provider_serves_public
         ),
-        ctx.provider_role,
+        provider_role._value_ if provider_role is not None else None,
         ctx.policy_eliminates_rep,
         ctx.home_interior,
         (
@@ -109,7 +122,7 @@ def action_fingerprint(action: InvestigativeAction) -> ActionFingerprint:
         ),
         ctx.abandoned,
         consent_effective,
-        consent.scope if consent_effective else None,
+        consent.scope._value_ if consent_effective else None,
         consent.covers_target_data,
         doctrine.exigent_circumstances,
         doctrine.plain_view,
@@ -123,20 +136,43 @@ def action_fingerprint(action: InvestigativeAction) -> ActionFingerprint:
     )
 
 
+#: Enum type per enum-bearing fingerprint field, for rehydrating the
+#: stored primitive values in the human-facing views below.
+_FIELD_ENUMS = {
+    "actor": Actor,
+    "data_kind": DataKind,
+    "timing": Timing,
+    "place": Place,
+    "provider_role": ProviderRole,
+    "consent_scope": ConsentScope,
+}
+
+
 def fingerprint_digest(fingerprint: ActionFingerprint) -> str:
     """Stable SHA-256 hex digest of a fingerprint.
 
-    Enum members render as ``ClassName.MEMBER`` so the digest survives
-    process restarts and is safe to persist (tuple ``hash()`` is salted
-    per interpreter; this is not).
+    Enum-bearing fields render as ``ClassName.MEMBER`` so the digest
+    survives process restarts and is safe to persist (tuple ``hash()`` is
+    salted per interpreter; this is not) — and is unchanged from when the
+    fingerprint tuple carried the enum members themselves.
     """
     rendered = "|".join(
         f"{name}={value!s}"
-        for name, value in zip(_FIELD_NAMES, fingerprint)
+        for name, value in describe_fingerprint(fingerprint).items()
     )
     return hashlib.sha256(rendered.encode("utf-8")).hexdigest()
 
 
 def describe_fingerprint(fingerprint: ActionFingerprint) -> dict:
-    """Field-name -> value view of a fingerprint, for debugging output."""
-    return dict(zip(_FIELD_NAMES, fingerprint))
+    """Field-name -> value view of a fingerprint, for debugging output.
+
+    Stored enum values are rehydrated to their members, so the view reads
+    the same as it did when the tuple carried members directly.
+    """
+    described = {}
+    for name, value in zip(_FIELD_NAMES, fingerprint):
+        enum_type = _FIELD_ENUMS.get(name)
+        if enum_type is not None and value is not None:
+            value = enum_type(value)
+        described[name] = value
+    return described

@@ -11,8 +11,11 @@ in the compliance probability, saturating at 100% under full compliance.
 from __future__ import annotations
 
 import dataclasses
+import os
 import random
+from concurrent.futures import ProcessPoolExecutor
 
+from repro.core.cache import RulingCache
 from repro.core.engine import ComplianceEngine
 from repro.core.scenarios import Scenario, build_table1
 from repro.investigation.pipeline import InvestigationPipeline, SceneOutcome
@@ -73,30 +76,130 @@ class CampaignResult:
         return sum(not o.suppressed for o in relevant) / len(relevant)
 
 
+def draw_cases(
+    config: CampaignConfig, scenarios: tuple[Scenario, ...]
+) -> list[tuple[Scenario, bool]]:
+    """Materialize every case's ``(scenario, complies)`` draw up front.
+
+    The draws consume the campaign RNG in exactly the order the original
+    serial loop did — ``choice`` then ``random`` per case — so a given
+    seed produces the same case sequence whether the cases then run
+    serially or across a worker pool.
+    """
+    rng = random.Random(config.seed)
+    draws = []
+    for __ in range(config.n_cases):
+        scenario = rng.choice(scenarios)
+        complies = rng.random() < config.comply_probability
+        draws.append((scenario, complies))
+    return draws
+
+
+def case_signature(outcome: SceneOutcome) -> tuple:
+    """A canonical, order-stable digest of one case's outcome.
+
+    Evidence items carry process-global serial ids
+    (:mod:`repro.evidence.items` counts acquisitions per *process*), so
+    outcomes produced in pool workers differ from serial ones in those
+    ids while agreeing in everything the paper's thesis depends on.  The
+    signature captures that legally meaningful content — scene, ruling,
+    process, suppression, custody/interruption shape — and is what the
+    parallel-equivalence tests and ``repro bench --techniques`` compare.
+    """
+    evidence = outcome.evidence
+    return (
+        outcome.scenario.number,
+        outcome.ruling.needs_process,
+        outcome.ruling.required_process.name,
+        outcome.process_obtained.name,
+        evidence.process_held.name if evidence is not None else None,
+        outcome.suppressed,
+        outcome.admissibility.name,
+        tuple(outcome.interruptions),
+        outcome.application_attempts,
+        (
+            tuple(entry.event for entry in outcome.custody.entries)
+            if outcome.custody is not None
+            else None
+        ),
+    )
+
+
+#: Per-worker-process pipeline with a cached engine, built lazily on the
+#: first case a worker executes and reused for every later case — the
+#: same warm-cache behaviour the serial loop gets from its one pipeline.
+_WORKER_PIPELINE: InvestigationPipeline | None = None
+
+
+def _case_worker(task: tuple[Scenario, bool]) -> SceneOutcome:
+    """Run one pre-drawn case inside a pool worker.
+
+    Cases are draw-isolated — the parent materialized every
+    ``(scenario, complies)`` pair before the fan-out — so workers share
+    nothing and the outcome sequence is independent of worker count and
+    scheduling.
+    """
+    global _WORKER_PIPELINE
+    if _WORKER_PIPELINE is None:
+        _WORKER_PIPELINE = InvestigationPipeline(
+            ComplianceEngine(cache=RulingCache())
+        )
+    scenario, complies = task
+    return _WORKER_PIPELINE.run_scene(scenario, obtain_process=complies)
+
+
+def resolve_workers(max_workers: int | None, n_cases: int) -> int:
+    """Resolve a ``max_workers`` argument to an effective worker count.
+
+    Mirrors :func:`repro.faults.chaos.resolve_workers` (not imported to
+    keep the investigation package free of a faults dependency): ``None``
+    means one worker per CPU, capped at the case count; anything below 2
+    means run serially in-process.
+    """
+    if max_workers is None:
+        return min(n_cases, os.cpu_count() or 1)
+    return max(1, max_workers)
+
+
 def run_campaign(
     config: CampaignConfig,
     scenarios: tuple[Scenario, ...] | None = None,
     engine: ComplianceEngine | None = None,
+    max_workers: int | None = 1,
 ) -> CampaignResult:
     """Run one campaign of randomized cases.
 
     Args:
         config: Campaign parameters.
         scenarios: Scene pool to draw from (defaults to Table 1).
-        engine: Compliance engine to share across cases.
+        engine: Compliance engine to share across cases (serial path
+            only; pool workers build their own cached engine).
+        max_workers: Anything below 2 runs the cases serially in-process;
+            ``None`` fans out across one worker per CPU (capped at the
+            case count), mirroring ``repro chaos --workers``.  Outcomes
+            come back in case order either way, and their
+            :func:`case_signature` sequences are identical.
     """
     scenarios = scenarios or build_table1()
-    pipeline = InvestigationPipeline(engine)
-    rng = random.Random(config.seed)
+    draws = draw_cases(config, scenarios)
+    workers = resolve_workers(max_workers, config.n_cases)
 
-    outcomes: list[SceneOutcome] = []
-    successes = 0
-    for __ in range(config.n_cases):
-        scenario = rng.choice(scenarios)
-        complies = rng.random() < config.comply_probability
-        outcome = pipeline.run_scene(scenario, obtain_process=complies)
-        outcomes.append(outcome)
-        successes += not outcome.suppressed
+    if workers > 1:
+        # Cases are ~100 microseconds each on a warm engine cache, so
+        # ship them in chunks: per-case IPC would otherwise swamp the
+        # fan-out.  Order is still preserved by pool.map.
+        chunksize = max(1, len(draws) // (workers * 8))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(
+                pool.map(_case_worker, draws, chunksize=chunksize)
+            )
+    else:
+        pipeline = InvestigationPipeline(engine)
+        outcomes = [
+            pipeline.run_scene(scenario, obtain_process=complies)
+            for scenario, complies in draws
+        ]
+    successes = sum(not outcome.suppressed for outcome in outcomes)
 
     return CampaignResult(
         config=config,
@@ -110,13 +213,15 @@ def compliance_curve(
     probabilities: list[float],
     n_cases: int = 100,
     seed: int = 0,
+    max_workers: int | None = 1,
 ) -> dict[float, float]:
     """Success rate at each compliance probability (the thesis curve)."""
     return {
         p: run_campaign(
             CampaignConfig(
                 n_cases=n_cases, comply_probability=p, seed=seed
-            )
+            ),
+            max_workers=max_workers,
         ).success_rate
         for p in probabilities
     }

@@ -1,0 +1,73 @@
+"""The square-wave detector's modulo-period fold, batched over offsets.
+
+The interval watermark's statistic needs, per trial offset, the number of
+in-window arrivals landing in the first half of their period versus the
+total — the scalar path recomputed the shift/mask/fold per offset.  Here
+one broadcasted subtraction produces the shifted times for every offset
+at once; masks and folds are elementwise, so the integer counts are
+bit-identical to the scalar fold.
+
+The transient ``offsets x packets`` matrix is the memory bound, chunked
+at :data:`~repro.signal.binning.DEFAULT_CHUNK_BYTES` like the binning
+kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.signal.binning import DEFAULT_CHUNK_BYTES
+
+
+def fold_half_counts(
+    timestamps,
+    start: float,
+    offsets: np.ndarray,
+    period: float,
+    duration: float,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+) -> tuple[np.ndarray, np.ndarray]:
+    """First-half and total in-window counts for every trial offset.
+
+    For each offset, arrivals are shifted by ``start + offset``, kept if
+    they land in ``[0, duration)``, folded modulo ``period``, and split
+    at the half-period mark — exactly the scalar detector's fold.
+
+    Args:
+        timestamps: Arrival times.
+        start: Embedding start time.
+        offsets: 1-D trial offsets.
+        period: Full on/off cycle length.
+        duration: Total embedding duration.
+        chunk_bytes: Bound on the transient shifted-times matrix.
+
+    Returns:
+        ``(first_half, total)`` — two 1-D integer arrays, one entry per
+        offset.
+
+    Raises:
+        ValueError: If ``period`` or ``duration`` is not positive.
+    """
+    if period <= 0:
+        raise ValueError(f"period must be positive: {period}")
+    if duration <= 0:
+        raise ValueError(f"duration must be positive: {duration}")
+    offsets = np.asarray(offsets, dtype=float)
+    times = np.asarray(timestamps, dtype=float)
+    n_offsets = offsets.size
+    first_half = np.zeros(n_offsets, dtype=np.int64)
+    total = np.zeros(n_offsets, dtype=np.int64)
+    if n_offsets == 0 or times.size == 0:
+        return first_half, total
+    half = period / 2
+    row_bytes = times.size * 8
+    rows_per_chunk = max(1, int(chunk_bytes // row_bytes))
+    for lo in range(0, n_offsets, rows_per_chunk):
+        hi = min(lo + rows_per_chunk, n_offsets)
+        shifted = times[None, :] - (start + offsets[lo:hi])[:, None]
+        in_window = (shifted >= 0) & (shifted < duration)
+        phase = np.mod(shifted, period)
+        first = in_window & (phase < half)
+        first_half[lo:hi] = first.sum(axis=1)
+        total[lo:hi] = in_window.sum(axis=1)
+    return first_half, total

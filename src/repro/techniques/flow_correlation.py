@@ -18,6 +18,7 @@ import numpy as np
 from repro.core.action import InvestigativeAction
 from repro.core.context import EnvironmentContext
 from repro.core.enums import Actor, DataKind, Place, Timing
+from repro.signal import batched_pearson, binned_count_matrix, offset_grid
 from repro.techniques.base import Technique
 
 
@@ -88,6 +89,8 @@ class PacketCountingCorrelator(Technique):
     ) -> None:
         if window <= 0 or offset_step <= 0:
             raise ValueError("window and offset_step must be positive")
+        if max_offset < 0:
+            raise ValueError(f"max_offset must be non-negative: {max_offset}")
         self.window = window
         self.max_offset = max_offset
         self.offset_step = offset_step
@@ -103,9 +106,13 @@ class PacketCountingCorrelator(Technique):
         """Correlate a candidate's arrivals against the reference flow.
 
         The reference series is binned once from ``start``; the candidate
-        series is re-binned at each trial offset and the best Pearson
-        correlation wins.  An empty series on either side returns a
-        zero-correlation, zero-confidence result instead of raising.
+        series is binned at every trial offset in one pass through the
+        vectorized :func:`repro.signal.binned_count_matrix` kernel, and
+        :func:`repro.signal.batched_pearson` scores the whole offset axis
+        at once (first maximum wins, as in the scalar sweep — kept as
+        :func:`_reference_correlate`).  An empty series on either side
+        returns a zero-correlation, zero-confidence result instead of
+        raising.
         """
         reference = binned_counts(reference_times, start, duration, self.window)
         n_bins = reference.size
@@ -117,18 +124,14 @@ class PacketCountingCorrelator(Technique):
                 n_candidate=len(candidate_times),
                 confidence=0.0,
             )
-        best_corr = float("-inf")
-        best_offset = 0.0
-        offset = 0.0
-        while offset <= self.max_offset:
-            candidate = binned_counts(
-                candidate_times, start + offset, duration, self.window
-            )
-            corr = pearson(reference, candidate)
-            if corr > best_corr:
-                best_corr = corr
-                best_offset = offset
-            offset += self.offset_step
+        offsets = offset_grid(self.max_offset, self.offset_step)
+        candidates = binned_count_matrix(
+            candidate_times, start, offsets, n_bins, self.window
+        )
+        correlations = batched_pearson(candidates, reference)
+        best_index = int(np.argmax(correlations))
+        best_corr = float(correlations[best_index])
+        best_offset = float(offsets[best_index])
         support = min(len(reference_times), len(candidate_times)) / n_bins
         return CorrelationResult(
             correlation=best_corr,
@@ -158,3 +161,50 @@ class PacketCountingCorrelator(Technique):
             context=EnvironmentContext(place=Place.TRANSMISSION_PATH),
         )
         return [observe_server, observe_client]
+
+
+def _reference_correlate(
+    correlator: PacketCountingCorrelator,
+    reference_times: list[float],
+    candidate_times: list[float],
+    start: float,
+    duration: float,
+) -> CorrelationResult:
+    """The original scalar offset sweep, kept for differential tests.
+
+    One fresh histogram and one Pearson call per trial offset; production
+    correlation batches the whole offset axis through the vectorized
+    kernels.
+    """
+    reference = binned_counts(
+        reference_times, start, duration, correlator.window
+    )
+    n_bins = reference.size
+    if not reference_times or not candidate_times:
+        return CorrelationResult(
+            correlation=0.0,
+            best_offset=0.0,
+            n_reference=len(reference_times),
+            n_candidate=len(candidate_times),
+            confidence=0.0,
+        )
+    best_corr = float("-inf")
+    best_offset = 0.0
+    offset = 0.0
+    while offset <= correlator.max_offset:
+        candidate = binned_counts(
+            candidate_times, start + offset, duration, correlator.window
+        )
+        corr = pearson(reference, candidate)
+        if corr > best_corr:
+            best_corr = corr
+            best_offset = offset
+        offset += correlator.offset_step
+    support = min(len(reference_times), len(candidate_times)) / n_bins
+    return CorrelationResult(
+        correlation=best_corr,
+        best_offset=best_offset,
+        n_reference=len(reference_times),
+        n_candidate=len(candidate_times),
+        confidence=min(1.0, support),
+    )

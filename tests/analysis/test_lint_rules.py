@@ -11,6 +11,7 @@ from repro.analysis.pylint_rules.empty_iterable import (
 )
 from repro.analysis.pylint_rules.enum_dispatch import EnumDispatchRule
 from repro.analysis.pylint_rules.fault_swallow import FaultSwallowRule
+from repro.analysis.pylint_rules.float_sweep import FloatSweepRule
 from repro.analysis.pylint_rules.mutable_defaults import MutableDefaultRule
 from repro.analysis.pylint_rules.scenario_answers import ScenarioAnswerRule
 from repro.analysis.pylint_rules.technique_contract import (
@@ -338,5 +339,74 @@ class TestFaultSwallow:
         )
         assert (
             findings(FaultSwallowRule(), source, "src/repro/netsim/link.py")
+            == []
+        )
+
+
+class TestFloatSweep:
+    def test_flags_offset_accumulation_sweep(self):
+        source = (
+            "def detect(self, arrival_times, start, max_offset, step):\n"
+            "    offset = 0.0\n"
+            "    while offset <= max_offset:\n"
+            "        scan(arrival_times, start + offset)\n"
+            "        offset += step\n"
+        )
+        found = findings(FloatSweepRule(), source, TECHNIQUE_PATH)
+        assert len(found) == 1
+        assert found[0].code == "REPRO108"
+        assert "float" in found[0].message
+        assert "offset_grid" in found[0].fix_it
+
+    def test_flags_strict_less_than_sweep(self):
+        source = (
+            "def correlate(self, bound):\n"
+            "    delay = 0.0\n"
+            "    while delay < bound:\n"
+            "        probe(delay)\n"
+            "        delay += self.offset_step\n"
+        )
+        found = findings(FloatSweepRule(), source, TECHNIQUE_PATH)
+        assert len(found) == 1
+
+    def test_exempts_reference_twins(self):
+        source = (
+            "def _reference_detect(detector, times, start, bound, step):\n"
+            "    offset = 0.0\n"
+            "    while offset <= bound:\n"
+            "        detector.correlate(times, start, offset)\n"
+            "        offset += step\n"
+        )
+        assert findings(FloatSweepRule(), source, TECHNIQUE_PATH) == []
+
+    def test_exempts_arrival_process_increments(self):
+        source = (
+            "def embed(self, channel, start):\n"
+            "    t = start\n"
+            "    while t < self.end:\n"
+            "        channel.send(t)\n"
+            "        t += self._rng.expovariate(self.rate)\n"
+        )
+        assert findings(FloatSweepRule(), source, TECHNIQUE_PATH) == []
+
+    def test_exempts_integer_counters(self):
+        source = (
+            "def detect(self, n):\n"
+            "    index = 0\n"
+            "    while index < n:\n"
+            "        step(index)\n"
+            "        index += 1\n"
+        )
+        assert findings(FloatSweepRule(), source, TECHNIQUE_PATH) == []
+
+    def test_only_applies_to_techniques(self):
+        source = (
+            "def detect(self, bound, step):\n"
+            "    offset = 0.0\n"
+            "    while offset <= bound:\n"
+            "        offset += step\n"
+        )
+        assert (
+            findings(FloatSweepRule(), source, "src/repro/netsim/link.py")
             == []
         )

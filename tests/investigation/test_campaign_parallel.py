@@ -1,0 +1,98 @@
+"""Parallel-equivalence tests for the campaign worker pool.
+
+``run_campaign(..., max_workers=N)`` fans cases across a seed-isolated
+``ProcessPoolExecutor``; everything the paper's thesis depends on — the
+scene sequence, every ruling, every suppression — must be identical to
+the serial run.  Evidence items carry process-global serial ids, so the
+comparison goes through :func:`case_signature`, which captures exactly
+the legally meaningful content.
+"""
+
+import pytest
+
+from repro.investigation.campaign import (
+    CampaignConfig,
+    case_signature,
+    compliance_curve,
+    draw_cases,
+    resolve_workers,
+    run_campaign,
+)
+from repro.core.scenarios import build_table1
+
+
+class TestResolveWorkers:
+    def test_explicit_count_respected(self):
+        assert resolve_workers(3, 100) == 3
+
+    def test_below_two_means_serial(self):
+        assert resolve_workers(0, 100) == 1
+        assert resolve_workers(-4, 100) == 1
+
+    def test_none_caps_at_case_count(self):
+        assert 1 <= resolve_workers(None, 2) <= 2
+
+
+class TestDrawCases:
+    def test_draws_match_serial_rng_stream(self):
+        config = CampaignConfig(n_cases=25, comply_probability=0.5, seed=11)
+        draws = draw_cases(config, build_table1())
+        serial = run_campaign(config, max_workers=1)
+        assert [scenario.number for scenario, _ in draws] == [
+            outcome.scenario.number for outcome in serial.outcomes
+        ]
+
+    def test_draws_deterministic(self):
+        config = CampaignConfig(n_cases=25, comply_probability=0.5, seed=12)
+        scenarios = build_table1()
+        assert draw_cases(config, scenarios) == draw_cases(config, scenarios)
+
+
+class TestParallelEquivalence:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_signatures_identical_to_serial(self, workers):
+        config = CampaignConfig(n_cases=40, comply_probability=0.6, seed=13)
+        serial = run_campaign(config, max_workers=1)
+        parallel = run_campaign(config, max_workers=workers)
+        assert [case_signature(o) for o in serial.outcomes] == [
+            case_signature(o) for o in parallel.outcomes
+        ]
+        assert serial.successes == parallel.successes
+        assert serial.suppressed == parallel.suppressed
+
+    def test_aggregate_rates_identical(self):
+        config = CampaignConfig(n_cases=40, comply_probability=0.3, seed=14)
+        serial = run_campaign(config, max_workers=1)
+        parallel = run_campaign(config, max_workers=2)
+        assert serial.success_rate == parallel.success_rate
+        assert serial.success_rate_for(
+            needs_process=True
+        ) == parallel.success_rate_for(needs_process=True)
+
+    def test_parallel_curve_matches_serial(self):
+        probabilities = [0.0, 1.0]
+        serial = compliance_curve(probabilities, n_cases=30, seed=15)
+        parallel = compliance_curve(
+            probabilities, n_cases=30, seed=15, max_workers=2
+        )
+        assert serial == parallel
+
+
+class TestCaseSignature:
+    def test_signature_is_deterministic_per_outcome(self):
+        config = CampaignConfig(n_cases=10, comply_probability=0.5, seed=16)
+        outcomes = run_campaign(config).outcomes
+        assert [case_signature(o) for o in outcomes] == [
+            case_signature(o) for o in outcomes
+        ]
+
+    def test_signature_separates_suppressed_outcomes(self):
+        complying = run_campaign(
+            CampaignConfig(n_cases=20, comply_probability=1.0, seed=17)
+        )
+        defiant = run_campaign(
+            CampaignConfig(n_cases=20, comply_probability=0.0, seed=17)
+        )
+        assert {case_signature(o) for o in complying.outcomes} != {
+            case_signature(o) for o in defiant.outcomes
+        }
