@@ -16,6 +16,7 @@ from repro.analysis.pylint_rules import (  # noqa: F401  (registration)
     mutable_defaults,
     scenario_answers,
     technique_contract,
+    telemetry,
 )
 from repro.analysis.pylint_rules.base import (
     LintRule,

@@ -1,0 +1,111 @@
+"""REPRO109: telemetry must route through ``repro.obs``, not stdout.
+
+A library module that ``print()``\\ s cannot be consumed as a library,
+and a module timing itself with ``time.time()`` produces numbers nobody
+can collect, aggregate, or gate.  Now that :mod:`repro.obs` exists,
+spans and metrics are the sanctioned channel: a bare ``print(`` or an
+ad-hoc wall-clock timing read inside ``src/repro/`` is a diagnostic.
+
+User-facing CLI modules are allowlisted (printing *is* their job), and
+so are the benchmark drivers (timing *is* their job) and the telemetry
+package itself (it owns the clock).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.pylint_rules.base import (
+    LintRule,
+    ModuleUnderLint,
+    register,
+)
+
+#: Modules whose *purpose* is terminal output or timing measurement.
+_ALLOWLISTED_FILES = {
+    "cli.py",
+    "__main__.py",
+    "bench.py",
+    "bench_techniques.py",
+}
+
+#: Directories whose modules own the clock or the terminal.
+_ALLOWLISTED_DIRECTORIES = {"obs"}
+
+#: ``time.<attr>`` reads that are ad-hoc timing when used for telemetry.
+_TIMING_ATTRS = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+}
+
+
+def _attribute_chain(node: ast.expr) -> tuple[str, ...]:
+    """``a.b.c`` -> ("a", "b", "c"); empty when not a pure name chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+@register
+class TelemetryChannelRule(LintRule):
+    """No bare print() or ad-hoc time.time() timing outside the CLI."""
+
+    code = "REPRO109"
+    name = "telemetry-channel"
+    description = (
+        "no bare print() or ad-hoc time.time() timing in library "
+        "modules; route telemetry through repro.obs (CLI and bench "
+        "modules allowlisted)"
+    )
+
+    def applies_to(self, module: ModuleUnderLint) -> bool:
+        parts = module.parts()
+        if "repro" not in parts:
+            return False
+        if _ALLOWLISTED_DIRECTORIES.intersection(parts):
+            return False
+        return parts[-1] not in _ALLOWLISTED_FILES
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Name) and node.func.id == "print":
+                yield self.diagnostic(
+                    module,
+                    node,
+                    "bare `print()` in a library module; nothing can "
+                    "collect or silence it",
+                    fix_it=(
+                        "return the text (let the CLI print it) or emit "
+                        "a repro.obs span/metric"
+                    ),
+                )
+                continue
+            chain = _attribute_chain(node.func)
+            if (
+                len(chain) == 2
+                and chain[0] == "time"
+                and chain[1] in _TIMING_ATTRS
+            ):
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"ad-hoc `time.{chain[1]}()` timing in a library "
+                    "module; the measurement is invisible to telemetry",
+                    fix_it=(
+                        "wrap the region in `repro.obs.span(...)` (or "
+                        "observe into a registry histogram) instead"
+                    ),
+                )

@@ -32,6 +32,7 @@ import platform
 import time
 from pathlib import Path
 
+from repro import obs
 from repro.core import ComplianceEngine, RulingCache, action_fingerprint
 from repro.core.scenarios import build_table1
 from repro.faults.chaos import resolve_workers, run_chaos
@@ -247,6 +248,83 @@ def _cold_floor(corpus_section: dict) -> dict:
     }
 
 
+#: Ceiling on the disabled-telemetry overhead of the public batch path.
+OBS_OVERHEAD_CEILING_PCT = 3.0
+
+#: Smallest corpus the overhead ceiling is *enforced* at, for the same
+#: resolution reason as :data:`COLD_FLOOR_MIN_ACTIONS`.
+OBS_OVERHEAD_MIN_ACTIONS = 1000
+
+
+def _bench_obs_overhead(corpus, reps: int = CORPUS_TIMING_REPS) -> dict:
+    """Telemetry's disabled-mode cost on the hot batch path.
+
+    Times the public ``evaluate_many`` (which carries the ``OBS.enabled``
+    guard) against the guard-free ``_evaluate_many_impl`` body on a hot
+    cache with telemetry off; the difference is exactly what
+    instrumentation costs every production caller who never enables it.
+    Both sides take their best of ``reps`` gc-paused runs, and a ratio at
+    or over the ceiling is re-measured once with doubled repetitions
+    before being believed (the two times are nearly equal, so one noisy
+    scheduler tick can fake a regression).  An enabled-mode pass is also
+    reported, ungated, for scale.
+    """
+    n = len(corpus)
+    engine = ComplianceEngine(cache=RulingCache(maxsize=2 * n))
+    engine.evaluate_many(corpus)  # warm every fingerprint
+    gc_was_enabled = gc.isenabled()
+
+    def _timed(run) -> float:
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            run()
+            return time.perf_counter() - start
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def _best(run, n_reps: int) -> float:
+        best = _timed(run)
+        for _ in range(n_reps - 1):
+            best = min(best, _timed(run))
+        return best
+
+    def _measure(n_reps: int) -> tuple[float, float]:
+        public_s = _best(lambda: engine.evaluate_many(corpus), n_reps)
+        impl_s = _best(lambda: engine._evaluate_many_impl(corpus), n_reps)
+        return public_s, impl_s
+
+    obs.reset()  # telemetry must be off for the gated measurement
+    public_s, impl_s = _measure(reps)
+    pct = (public_s - impl_s) / impl_s * 100.0 if impl_s else 0.0
+    gated = n >= OBS_OVERHEAD_MIN_ACTIONS
+    if gated and pct >= OBS_OVERHEAD_CEILING_PCT:
+        public_s, impl_s = _measure(2 * reps)
+        pct = (public_s - impl_s) / impl_s * 100.0 if impl_s else 0.0
+
+    obs.enable(obs.TraceCollector())
+    try:
+        enabled_s = _best(lambda: engine.evaluate_many(corpus), reps)
+    finally:
+        obs.reset()
+    enabled_pct = (
+        (enabled_s - impl_s) / impl_s * 100.0 if impl_s else 0.0
+    )
+
+    return {
+        "actions": n,
+        "hot_impl_s": impl_s,
+        "hot_public_s": public_s,
+        "obs_overhead_pct": pct,
+        "enabled_overhead_pct": enabled_pct,
+        "ceiling_pct": OBS_OVERHEAD_CEILING_PCT,
+        "gated": gated,
+        "ok": (not gated) or pct < OBS_OVERHEAD_CEILING_PCT,
+    }
+
+
 def run_bench(
     quick: bool = False,
     seed: int = 99,
@@ -298,6 +376,7 @@ def run_bench(
         "table1": _bench_table1(reps=20 if quick else 100),
         "chaos": _bench_chaos(seed=seed, n_plans=2 if quick else 5),
         "differential": _differential(corpus),
+        "obs_overhead": _bench_obs_overhead(corpus),
     }
     report["cold_floor"] = _cold_floor(report["corpus"])
     ok = (
@@ -305,6 +384,7 @@ def run_bench(
         and report["table1"]["agreement_ok"]
         and report["chaos"]["ok"]
         and report["cold_floor"]["ok"]
+        and report["obs_overhead"]["ok"]
     )
     report["ok"] = ok
 
@@ -351,6 +431,16 @@ def render_report(report: dict) -> str:
         f"{report['differential']['mismatches']} mismatches, "
         f"second-pass hit rate "
         f"{report['differential']['second_pass_hit_rate']:.1%}",
+        f"obs overhead (disabled): "
+        f"{report['obs_overhead']['obs_overhead_pct']:.2f}% "
+        f"(ceiling {report['obs_overhead']['ceiling_pct']:.1f}%, "
+        + (
+            ("ok" if report["obs_overhead"]["ok"] else "FAIL")
+            if report["obs_overhead"]["gated"]
+            else "not gated at this corpus size"
+        )
+        + f"; enabled "
+        f"{report['obs_overhead']['enabled_overhead_pct']:.2f}%)",
         f"overall: {'ok' if report['ok'] else 'FAIL'}",
     ]
     return "\n".join(lines)

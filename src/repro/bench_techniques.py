@@ -50,7 +50,7 @@ from repro.investigation.campaign import (
     run_campaign,
 )
 from repro.netsim.engine import Simulator
-from repro.signal import grouped_median, offset_grid
+from repro.signal import grouped_median, intern_labels, offset_grid
 from repro.techniques import (
     flow_correlation,
     interval_watermark,
@@ -375,16 +375,18 @@ def _bench_timing_attack(quick: bool, seed: int) -> dict:
             )
 
     def _vectorized() -> dict[str, tuple[float, int]]:
-        neighbors = np.array([record.neighbor for record in records])
+        codes, names = intern_labels(
+            record.neighbor for record in records
+        )
         response_times = np.array(
             [record.arrived_at for record in records], dtype=float
         ) - np.array(
             [record.query_sent_at for record in records], dtype=float
         )
-        unique, medians, counts = grouped_median(neighbors, response_times)
+        unique, medians, counts = grouped_median(codes, response_times)
         return {
-            str(neighbor): (float(median), int(count))
-            for neighbor, median, count in zip(unique, medians, counts)
+            names[int(code)]: (float(median), int(count))
+            for code, median, count in zip(unique, medians, counts)
         }
 
     reference_result, vectorized_result, timings = _race(

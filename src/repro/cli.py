@@ -11,6 +11,8 @@ Usage::
     python -m repro analyze-plan table1   # static plan analysis
     python -m repro chaos --seed 7        # paper invariants under faults
     python -m repro bench --quick         # engine benchmarks -> BENCH_engine.json
+    python -m repro metrics               # Prometheus text from a traced replay
+    python -m repro trace --audit         # spans + authorizing instruments
 """
 
 from __future__ import annotations
@@ -133,19 +135,88 @@ def _cmd_reference(args: argparse.Namespace) -> int:
 
 
 def _cmd_curve(args: argparse.Namespace) -> int:
+    from repro import obs
     from repro.investigation.campaign import compliance_curve
 
+    collector = obs.enable(obs.TraceCollector()) if args.trace_out else None
     probabilities = [0.0, 0.25, 0.5, 0.75, 1.0]
-    curve = compliance_curve(
-        probabilities,
-        n_cases=args.cases,
-        seed=args.seed,
-        max_workers=args.workers,
-    )
+    try:
+        curve = compliance_curve(
+            probabilities,
+            n_cases=args.cases,
+            seed=args.seed,
+            max_workers=args.workers,
+        )
+    finally:
+        if collector is not None:
+            obs.disable()
     print("prosecution success rate vs compliance probability:")
     for p in probabilities:
         bar = "#" * int(curve[p] * 40)
         print(f"  p={p:4.2f}: {curve[p]:6.1%} {bar}")
+    if collector is not None:
+        obs.export.write_trace(args.trace_out, collector.spans)
+        print(f"wrote {len(collector.spans)} span(s) to {args.trace_out}")
+    return 0
+
+
+def _traced_table1_run(comply: bool = True) -> list:
+    """Run every Table 1 scene end to end with telemetry on.
+
+    Returns the finished span records.  The module-level registry is
+    left populated (cache gauges bound, engine counters incremented) so
+    callers can render metrics after the run; tracing is switched off
+    again before returning.
+    """
+    from repro import obs
+    from repro.core import RulingCache
+    from repro.investigation.pipeline import InvestigationPipeline
+
+    obs.reset()
+    cache = RulingCache()
+    engine = ComplianceEngine(cache=cache)
+    obs.bind_ruling_cache(cache.stats)
+    collector = obs.enable()
+    try:
+        InvestigationPipeline(engine).run_all(
+            build_table1(), obtain_process=comply
+        )
+    finally:
+        obs.disable()
+    return collector.spans
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    _traced_table1_run(comply=not args.no_comply)
+    text = obs.OBS.registry.render_text()
+    if not text.strip():
+        print("metrics registry is empty after a traced Table 1 replay")
+        return 1
+    print(text, end="")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    records = _traced_table1_run(comply=not args.no_comply)
+    if args.out:
+        obs.export.write_trace(args.out, records, chrome=args.chrome)
+        print(f"wrote {len(records)} span(s) to {args.out}")
+    if args.audit:
+        print(obs.render_audit_report(records))
+        if not obs.acquisition_spans(records):
+            return 1
+        return 1 if obs.unauthorized_acquisitions(records) else 0
+    if not args.out:
+        payload = (
+            obs.export.to_chrome_trace(records)
+            if args.chrome
+            else obs.export.to_jsonl(records)
+        )
+        print(payload, end="" if payload.endswith("\n") else "\n")
     return 0
 
 
@@ -256,8 +327,10 @@ _CHAOS_BUDGETS = {"small": 5, "medium": 25, "large": 100}
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro import obs
     from repro.faults.chaos import run_chaos
 
+    collector = obs.enable(obs.TraceCollector()) if args.trace_out else None
     try:
         report = run_chaos(
             seed=args.seed,
@@ -269,7 +342,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(error)
         return 1
+    finally:
+        if collector is not None:
+            obs.disable()
     print(report.render())
+    if collector is not None:
+        obs.export.write_trace(args.trace_out, collector.spans)
+        print(f"wrote {len(collector.spans)} span(s) to {args.trace_out}")
     return 0 if report.ok else 1
 
 
@@ -289,6 +368,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
         print(render_techniques_report(report))
         print(f"wrote {out}")
+        _write_bench_trace(args)
         return 0 if ok else 1
 
     from repro.bench import render_report, run_bench
@@ -305,7 +385,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 1
     print(render_report(report))
     print(f"wrote {args.out}")
+    _write_bench_trace(args)
     return 0 if ok else 1
+
+
+def _write_bench_trace(args: argparse.Namespace) -> None:
+    """Honor ``bench --trace-out``: a traced Table 1 replay, run *after*
+    the benchmark so tracing cannot taint any measurement."""
+    if not args.trace_out:
+        return
+    from repro import obs
+
+    records = _traced_table1_run()
+    obs.export.write_trace(args.trace_out, records)
+    print(f"wrote {len(records)} span(s) to {args.trace_out}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -370,6 +463,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="campaign worker processes (default 1 = serial; 0 or a "
         "negative value also runs serially)",
+    )
+    curve.add_argument(
+        "--trace-out",
+        default=None,
+        help="collect a span trace of the sweep and write it (JSONL) here",
     )
     curve.set_defaults(func=_cmd_curve)
 
@@ -442,6 +540,14 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: one per CPU; 1 forces the serial path)"
         ),
     )
+    chaos.add_argument(
+        "--trace-out",
+        default=None,
+        help=(
+            "collect a span trace of the sweep (including fault.injection "
+            "events) and write it (JSONL) here"
+        ),
+    )
     chaos.set_defaults(func=_cmd_chaos)
 
     bench = subparsers.add_parser(
@@ -479,7 +585,55 @@ def build_parser() -> argparse.ArgumentParser:
             "-> BENCH_techniques.json"
         ),
     )
+    bench.add_argument(
+        "--trace-out",
+        default=None,
+        help=(
+            "after the benchmark, run a traced Table 1 replay and write "
+            "its span trace (JSONL) here"
+        ),
+    )
     bench.set_defaults(func=_cmd_bench)
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="Prometheus text exposition from a traced Table 1 replay",
+    )
+    metrics.add_argument(
+        "--no-comply",
+        action="store_true",
+        help="replay without obtaining process first",
+    )
+    metrics.set_defaults(func=_cmd_metrics)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="span trace of a Table 1 replay (JSONL, Chrome, or audit)",
+    )
+    trace.add_argument(
+        "--audit",
+        action="store_true",
+        help=(
+            "report every acquisition span with its authorizing "
+            "instrument; exit 1 on any unauthorized gated acquisition"
+        ),
+    )
+    trace.add_argument(
+        "--chrome",
+        action="store_true",
+        help="emit Chrome trace-event JSON instead of JSONL",
+    )
+    trace.add_argument(
+        "--out",
+        default=None,
+        help="write the trace here instead of printing it",
+    )
+    trace.add_argument(
+        "--no-comply",
+        action="store_true",
+        help="replay without obtaining process first (audit holes appear)",
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     authorities = subparsers.add_parser(
         "authorities", help="list the citation registry"

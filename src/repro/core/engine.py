@@ -35,6 +35,7 @@ from repro.core.ruling import (
     Ruling,
 )
 from repro.core.statutes import fourth_amendment, pentrap, sca, wiretap
+from repro.obs import OBS, span
 
 
 class ComplianceEngine:
@@ -87,6 +88,27 @@ class ComplianceEngine:
         equal-fingerprint action was ruled on before; cached and fresh
         rulings are indistinguishable (same trace, same ``explain()``).
         """
+        # One attribute load + branch when telemetry is off: the span
+        # kwargs dict is never built on the disabled hot path.
+        if not OBS.enabled:
+            return self._evaluate_impl(action)
+        with span(
+            "engine.evaluate", action_fp=action_fingerprint(action)
+        ) as sp:
+            ruling = self._evaluate_impl(action)
+            sp.set(process=ruling.required_process.name)
+        OBS.registry.counter(
+            "repro_engine_evaluations_total",
+            "Single-action ComplianceEngine.evaluate calls.",
+        ).inc()
+        OBS.registry.histogram(
+            "repro_engine_evaluate_seconds",
+            "Latency of ComplianceEngine.evaluate.",
+        ).observe(sp.duration)
+        return ruling
+
+    def _evaluate_impl(self, action: InvestigativeAction) -> Ruling:
+        """The cache-consulting single-action path, telemetry-free."""
         if self._cache is None:
             return self._evaluate_uncached(action)
         fingerprint = action_fingerprint(action)
@@ -110,6 +132,25 @@ class ComplianceEngine:
         matches input order, ruling-for-ruling identical to calling
         :meth:`evaluate` in a loop.
         """
+        if not OBS.enabled:
+            return self._evaluate_many_impl(actions)
+        batch = list(actions)
+        with span("engine.evaluate_many", actions=len(batch)) as sp:
+            rulings = self._evaluate_many_impl(batch)
+        OBS.registry.counter(
+            "repro_engine_batch_actions_total",
+            "Actions ruled on through evaluate_many.",
+        ).inc(len(batch))
+        OBS.registry.histogram(
+            "repro_engine_batch_seconds",
+            "Latency of ComplianceEngine.evaluate_many batches.",
+        ).observe(sp.duration)
+        return rulings
+
+    def _evaluate_many_impl(
+        self, actions: Iterable[InvestigativeAction]
+    ) -> list[Ruling]:
+        """The batch path shared by both telemetry states."""
         if self._cache is None:
             rulings: list[Ruling] = []
             memo: dict = {}

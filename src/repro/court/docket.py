@@ -14,6 +14,7 @@ import itertools
 from repro.core.enums import ProcessKind
 
 _instrument_ids = itertools.count(1)
+_docket_ids = itertools.count(1)
 
 #: Default validity windows, in simulated seconds.  Warrants are
 #: deliberately the shortest-lived; subpoenas the longest.  "No
@@ -64,9 +65,16 @@ class IssuedProcess:
 
 
 class Docket:
-    """The court's record of applications and issued instruments."""
+    """The court's record of applications and issued instruments.
+
+    Every docket carries a process-unique ``docket_id`` so telemetry can
+    correlate an acquisition span back to the docket its authorizing
+    instrument was filed on (the audit-trail query the paper's
+    accountability argument asks for).
+    """
 
     def __init__(self) -> None:
+        self.docket_id = next(_docket_ids)
         self._instruments: list[IssuedProcess] = []
         self.applications_received = 0
         self.applications_denied = 0

@@ -26,6 +26,7 @@ import os
 import random
 from concurrent.futures import ProcessPoolExecutor
 
+from repro import obs
 from repro.anonymity.onion import OnionNetwork
 from repro.anonymity.p2p import P2POverlay
 from repro.core.cache import RulingCache
@@ -161,6 +162,18 @@ def run_plan(
     engine: ComplianceEngine | None = None,
 ) -> PlanResult:
     """Run every experiment under one randomized fault plan."""
+    with obs.span("chaos.plan", seed=seed, intensity=intensity) as sp:
+        result = _run_plan_impl(seed, scenarios, intensity, engine)
+        sp.set(ok=result.ok, faults=result.faults_fired)
+    return result
+
+
+def _run_plan_impl(
+    seed: int,
+    scenarios: tuple[Scenario, ...],
+    intensity: float,
+    engine: ComplianceEngine | None,
+) -> PlanResult:
     plan = FaultPlan.randomized(seed, intensity=intensity)
     injector = FaultInjector(plan)
     engine = engine or ComplianceEngine()
@@ -194,6 +207,16 @@ def run_plan(
 
     techniques_ok = _run_techniques(seed, injector)
     storage_ok = _run_storage(seed, injector)
+
+    if obs.OBS.enabled:
+        # Attach the plan's injection log so the trace carries the same
+        # artifact FaultInjector.to_jsonl() would export standalone.
+        obs.event(
+            "fault.log",
+            seed=seed,
+            injections=injector.fired(),
+            jsonl=injector.to_jsonl(),
+        )
 
     return PlanResult(
         seed=seed,
@@ -311,6 +334,24 @@ def _plan_worker(task: tuple[int, str, float]) -> PlanResult:
     return run_plan(seed, scenarios, intensity, engine)
 
 
+def _plan_worker_traced(
+    task: tuple[int, str, float],
+) -> tuple[PlanResult, list[dict[str, object]]]:
+    """Traced variant of :func:`_plan_worker`.
+
+    Workers start with telemetry off (it is process-global state), so
+    the plan runs under a private collector and its records return with
+    the result for the parent to
+    :meth:`~repro.obs.TraceCollector.adopt` in seed order.
+    """
+    collector = obs.enable(obs.TraceCollector())
+    try:
+        result = _plan_worker(task)
+    finally:
+        obs.disable()
+    return result, collector.export_records()
+
+
 def resolve_workers(max_workers: int | None, n_plans: int) -> int:
     """Resolve a ``--workers`` argument to an effective worker count.
 
@@ -352,7 +393,13 @@ def run_chaos(
             (seed + offset, scenes, intensity) for offset in range(n_plans)
         ]
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = tuple(pool.map(_plan_worker, tasks))
+            if obs.OBS.enabled and obs.OBS.collector is not None:
+                traced = list(pool.map(_plan_worker_traced, tasks))
+                results = tuple(result for result, __ in traced)
+                for __, records in traced:
+                    obs.OBS.collector.adopt(records)
+            else:
+                results = tuple(pool.map(_plan_worker, tasks))
     else:
         engine = ComplianceEngine(cache=RulingCache())
         results = tuple(

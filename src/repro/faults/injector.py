@@ -15,10 +15,12 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import json
 import zlib
 
 import random
 
+from repro import obs
 from repro.faults.plan import FaultKind, FaultPlan
 
 
@@ -42,6 +44,15 @@ class InjectionRecord:
             f"t={self.time:.6f} {self.kind.value} "
             f"target={self.target} {self.detail}"
         )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation (one :meth:`FaultInjector.to_jsonl` line)."""
+        return {
+            "time": self.time,
+            "kind": self.kind.value,
+            "target": self.target,
+            "detail": self.detail,
+        }
 
 
 class FaultInjector:
@@ -113,6 +124,18 @@ class FaultInjector:
             time=time, kind=kind, target=target, detail=detail
         )
         self._log.append(record)
+        if obs.OBS.enabled:
+            obs.event(
+                "fault.injection",
+                sim_time=time,
+                kind=kind.value,
+                target=target,
+                detail=detail,
+            )
+            obs.OBS.registry.counter(
+                "repro_faults_injected_total",
+                "Fault injections that fired, by kind.",
+            ).inc(kind=kind.value)
         return record
 
     @property
@@ -129,6 +152,20 @@ class FaultInjector:
     def render_log(self) -> str:
         """The whole log as text; identical seeds → identical bytes."""
         return "\n".join(record.render() for record in self._log)
+
+    def to_jsonl(self) -> str:
+        """The injection log as JSONL — the artifact a chaos run leaves.
+
+        One JSON object per fired record, in firing order; '' when
+        nothing fired.  Identical seeds render identical bytes, so the
+        export composes with :meth:`log_digest`-style comparisons.
+        """
+        if not self._log:
+            return ""
+        return "\n".join(
+            json.dumps(record.to_dict(), sort_keys=True)
+            for record in self._log
+        ) + "\n"
 
     def log_digest(self) -> str:
         """SHA-256 of the rendered log, for cheap equality assertions."""

@@ -14,6 +14,7 @@ import dataclasses
 from collections.abc import Callable
 from typing import TypeVar
 
+from repro import obs
 from repro.faults.errors import FaultError
 
 T = TypeVar("T")
@@ -91,7 +92,11 @@ def run_with_retries(
     now = start
     for attempt in range(policy.max_attempts):
         try:
-            return fn(now), attempt + 1, now - start
+            # A failing fn raises through the span, which closes with an
+            # ``error`` attribute before the retry machinery catches it.
+            with obs.span("retry.attempt", sim_time=now, attempt=attempt):
+                result = fn(now)
+            return result, attempt + 1, now - start
         except retry_on as exc:
             if attempt == policy.max_attempts - 1:
                 raise

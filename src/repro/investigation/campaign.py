@@ -15,6 +15,7 @@ import os
 import random
 from concurrent.futures import ProcessPoolExecutor
 
+from repro import obs
 from repro.core.cache import RulingCache
 from repro.core.engine import ComplianceEngine
 from repro.core.scenarios import Scenario, build_table1
@@ -148,6 +149,46 @@ def _case_worker(task: tuple[Scenario, bool]) -> SceneOutcome:
     return _WORKER_PIPELINE.run_scene(scenario, obtain_process=complies)
 
 
+def _run_case(
+    pipeline: InvestigationPipeline,
+    index: int,
+    scenario: Scenario,
+    complies: bool,
+) -> SceneOutcome:
+    """One case under a ``campaign.case`` span (shared serial/worker)."""
+    with obs.span(
+        "campaign.case", case=index, scene=scenario.number, comply=complies
+    ) as sp:
+        outcome = pipeline.run_scene(scenario, obtain_process=complies)
+        sp.set(suppressed=outcome.suppressed)
+    return outcome
+
+
+def _case_worker_traced(
+    task: tuple[int, Scenario, bool],
+) -> tuple[SceneOutcome, list[dict[str, object]]]:
+    """Traced variant of :func:`_case_worker`.
+
+    Telemetry is process-global and off in a fresh worker, so each case
+    runs under a private collector whose records ship back with the
+    outcome; the parent re-ingests them (in case order) with
+    :meth:`~repro.obs.TraceCollector.adopt`, so the merged trace equals
+    the serial one modulo span ids.
+    """
+    global _WORKER_PIPELINE
+    if _WORKER_PIPELINE is None:
+        _WORKER_PIPELINE = InvestigationPipeline(
+            ComplianceEngine(cache=RulingCache())
+        )
+    index, scenario, complies = task
+    collector = obs.enable(obs.TraceCollector())
+    try:
+        outcome = _run_case(_WORKER_PIPELINE, index, scenario, complies)
+    finally:
+        obs.disable()
+    return outcome, collector.export_records()
+
+
 def resolve_workers(max_workers: int | None, n_cases: int) -> int:
     """Resolve a ``max_workers`` argument to an effective worker count.
 
@@ -190,16 +231,35 @@ def run_campaign(
         # fan-out.  Order is still preserved by pool.map.
         chunksize = max(1, len(draws) // (workers * 8))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            outcomes = list(
-                pool.map(_case_worker, draws, chunksize=chunksize)
-            )
+            if obs.OBS.enabled and obs.OBS.collector is not None:
+                tasks = [
+                    (index, scenario, complies)
+                    for index, (scenario, complies) in enumerate(draws)
+                ]
+                traced = list(
+                    pool.map(
+                        _case_worker_traced, tasks, chunksize=chunksize
+                    )
+                )
+                outcomes = [outcome for outcome, __ in traced]
+                for __, records in traced:
+                    obs.OBS.collector.adopt(records)
+            else:
+                outcomes = list(
+                    pool.map(_case_worker, draws, chunksize=chunksize)
+                )
     else:
         pipeline = InvestigationPipeline(engine)
         outcomes = [
-            pipeline.run_scene(scenario, obtain_process=complies)
-            for scenario, complies in draws
+            _run_case(pipeline, index, scenario, complies)
+            for index, (scenario, complies) in enumerate(draws)
         ]
     successes = sum(not outcome.suppressed for outcome in outcomes)
+    if obs.OBS.enabled:
+        obs.OBS.registry.counter(
+            "repro_campaign_cases_total",
+            "Campaign cases executed.",
+        ).inc(len(outcomes))
 
     return CampaignResult(
         config=config,

@@ -11,6 +11,7 @@ resulting evidence carries its provenance into the suppression hearing.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.core.action import InvestigativeAction
 from repro.core.engine import ComplianceEngine
 from repro.core.enums import ProcessKind
@@ -97,27 +98,28 @@ class Investigator:
         Returns:
             ``(final decision, attempts used, time of the last attempt)``.
         """
+        def attempt_once(index: int, at: float) -> Decision:
+            with obs.span(
+                "retry.attempt", sim_time=at, attempt=index, kind=kind.name
+            ) as sp:
+                decided = self.apply_for(
+                    kind,
+                    case,
+                    at,
+                    target_place=target_place,
+                    target_items=target_items,
+                    necessity_statement=necessity_statement,
+                )
+                sp.set(granted=decided.granted)
+            return decided
+
         now = time
-        decision = self.apply_for(
-            kind,
-            case,
-            now,
-            target_place=target_place,
-            target_items=target_items,
-            necessity_statement=necessity_statement,
-        )
+        decision = attempt_once(0, now)
         attempt = 0
         while not decision.granted and attempt < policy.max_attempts - 1:
             now += policy.delay(attempt)
             attempt += 1
-            decision = self.apply_for(
-                kind,
-                case,
-                now,
-                target_place=target_place,
-                target_items=target_items,
-                necessity_statement=necessity_statement,
-            )
+            decision = attempt_once(attempt, now)
         return decision, attempt + 1, now
 
     # -- acting -------------------------------------------------------------------

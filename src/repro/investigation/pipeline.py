@@ -18,11 +18,13 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro import obs
 from repro.core.engine import ComplianceEngine
 from repro.core.enums import Admissibility, ProcessKind, Standard
 from repro.core.ruling import Ruling
 from repro.core.scenarios import Scenario
 from repro.court.application import Fact
+from repro.court.docket import IssuedProcess
 from repro.court.magistrate import Magistrate
 from repro.court.suppression import SuppressionHearing
 from repro.evidence.custody import ChainOfCustody
@@ -129,6 +131,28 @@ class InvestigationPipeline:
         Returns:
             The complete :class:`SceneOutcome`.
         """
+        if not obs.OBS.enabled:
+            return self._run_scene_impl(scenario, obtain_process, time)
+        with obs.span(
+            "pipeline.scene",
+            sim_time=time,
+            scene=scenario.number,
+            comply=obtain_process,
+        ) as sp:
+            outcome = self._run_scene_impl(scenario, obtain_process, time)
+            sp.set(
+                process=outcome.process_obtained.name,
+                admissibility=outcome.admissibility.name,
+            )
+        return outcome
+
+    def _run_scene_impl(
+        self,
+        scenario: Scenario,
+        obtain_process: bool,
+        time: float,
+    ) -> SceneOutcome:
+        """The scene body; spans inside it no-op when telemetry is off."""
         ruling = self.engine.evaluate(scenario.action)
         investigator = Investigator(
             f"officer-scene-{scenario.number}",
@@ -139,29 +163,66 @@ class InvestigationPipeline:
         obtained = ProcessKind.NONE
         attempts = 0
         acquire_time = time
+        instrument: IssuedProcess | None = None
         interruptions: list[str] = []
         if obtain_process and ruling.required_process is not ProcessKind.NONE:
             case = self._case_with_full_showing(scenario)
-            obtained, attempts, acquire_time = self._obtain_process(
-                investigator, ruling, case, scenario, time, interruptions
-            )
+            with obs.span(
+                "pipeline.obtain_process",
+                sim_time=time,
+                scene=scenario.number,
+                required=ruling.required_process.name,
+            ) as sp:
+                obtained, attempts, acquire_time, instrument = (
+                    self._obtain_process(
+                        investigator, ruling, case, scenario, time,
+                        interruptions,
+                    )
+                )
+                sp.set(obtained=obtained.name, attempts=attempts)
 
-        evidence = investigator.act(
-            scenario.action,
-            time=acquire_time,
-            content=f"data acquired in scene {scenario.number}",
-            comply=False,  # the hearing, not the officer, is the check here
-        )
-        custody = ChainOfCustody(
-            evidence, custodian=investigator.name, time=acquire_time
-        )
-        for interruption in interruptions:
-            custody.record_event(
-                f"acquisition interrupted: {interruption}", time=acquire_time
+        # The audit frame correlates everything recorded during the
+        # acquisition with the legal process (if any) authorizing it.
+        with obs.audit(
+            docket_id=self.magistrate.docket.docket_id,
+            instrument_id=(
+                instrument.instrument_id if instrument is not None else None
+            ),
+            instrument_kind=(
+                instrument.kind.display_name if instrument is not None else None
+            ),
+        ):
+            with obs.span(
+                "pipeline.acquisition",
+                sim_time=acquire_time,
+                scene=scenario.number,
+                needs_process=ruling.needs_process,
+            ) as sp:
+                evidence = investigator.act(
+                    scenario.action,
+                    time=acquire_time,
+                    content=f"data acquired in scene {scenario.number}",
+                    comply=False,  # the hearing, not the officer, is the check
+                )
+                custody = ChainOfCustody(
+                    evidence, custodian=investigator.name, time=acquire_time
+                )
+                for interruption in interruptions:
+                    custody.record_event(
+                        f"acquisition interrupted: {interruption}",
+                        time=acquire_time,
+                    )
+                sp.set(evidence_id=evidence.evidence_id)
+        with obs.span(
+            "pipeline.suppression",
+            sim_time=acquire_time,
+            scene=scenario.number,
+            evidence_id=evidence.evidence_id,
+        ) as sp:
+            outcome = self.hearing.hear(
+                [evidence], custody={evidence.evidence_id: custody}
             )
-        outcome = self.hearing.hear(
-            [evidence], custody={evidence.evidence_id: custody}
-        )
+            sp.set(admissibility=outcome.outcome_for(evidence).name)
         return SceneOutcome(
             scenario=scenario,
             ruling=ruling,
@@ -181,11 +242,13 @@ class InvestigationPipeline:
         scenario: Scenario,
         time: float,
         interruptions: list[str],
-    ) -> tuple[ProcessKind, int, float]:
+    ) -> tuple[ProcessKind, int, float, IssuedProcess | None]:
         """Apply (with retries) and schedule the acquisition.
 
         Returns ``(kind obtained, application attempts, acquisition
-        time)``.  The instrument's validity is checked at the
+        time, instrument relied on)``; the instrument is ``None``
+        whenever no valid process was held at acquisition time.
+        The instrument's validity is checked at the
         *acquisition* time — an instrument that expired or was revoked in
         the lag between issuance and execution does not authorize the
         acquisition, and the officer re-applies once more under the retry
@@ -208,12 +271,12 @@ class InvestigationPipeline:
                 f"process application denied after {attempts} attempt(s): "
                 f"{decision.reason}"
             )
-            return ProcessKind.NONE, attempts, decide_time
+            return ProcessKind.NONE, attempts, decide_time, None
 
         instrument = decision.instrument
         acquire_time = instrument.issued_at + self.acquisition_lag
         if instrument.is_valid(acquire_time):
-            return instrument.kind, attempts, acquire_time
+            return instrument.kind, attempts, acquire_time, instrument
 
         # Expired (or revoked) before execution: record it, re-apply once
         # more through the policy, and execute with whatever is then held.
@@ -240,17 +303,17 @@ class InvestigationPipeline:
             fresh = redecision.instrument
             acquire_time = fresh.issued_at + self.acquisition_lag
             if fresh.is_valid(acquire_time):
-                return fresh.kind, attempts, acquire_time
+                return fresh.kind, attempts, acquire_time, fresh
             interruptions.append(
                 f"re-issued instrument ({fresh.kind.display_name}) also "
                 f"expired before acquisition at t={acquire_time}"
             )
-            return ProcessKind.NONE, attempts, acquire_time
+            return ProcessKind.NONE, attempts, acquire_time, None
         interruptions.append(
             f"re-application denied after {more} attempt(s): "
             f"{redecision.reason}"
         )
-        return ProcessKind.NONE, attempts, redecide_time
+        return ProcessKind.NONE, attempts, redecide_time, None
 
     @staticmethod
     def _case_with_full_showing(scenario: Scenario) -> Case:

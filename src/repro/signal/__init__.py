@@ -37,7 +37,7 @@ from repro.signal.binning import (
 from repro.signal.correlate import batched_code_correlation, batched_pearson
 from repro.signal.folding import fold_half_counts
 from repro.signal.grid import offset_grid
-from repro.signal.grouping import grouped_median
+from repro.signal.grouping import grouped_median, intern_labels
 
 __all__ = [
     "DEFAULT_CHUNK_BYTES",
@@ -48,5 +48,6 @@ __all__ = [
     "binned_count_matrix",
     "fold_half_counts",
     "grouped_median",
+    "intern_labels",
     "offset_grid",
 ]

@@ -27,7 +27,7 @@ from repro.anonymity.p2p import P2POverlay, ResponseRecord
 from repro.core.action import InvestigativeAction
 from repro.core.context import EnvironmentContext
 from repro.core.enums import Actor, DataKind, Place, Timing
-from repro.signal import grouped_median
+from repro.signal import grouped_median, intern_labels
 from repro.techniques.base import Technique
 
 
@@ -167,12 +167,16 @@ class OneSwarmTimingAttack(Technique):
         an empty (not raised) result.
 
         Per-neighbour medians come from one vectorized
-        :func:`repro.signal.grouped_median` call (``np.unique`` returns
-        neighbours in the same sorted order the scalar path iterated);
-        the scalar grouping survives as
+        :func:`repro.signal.grouped_median` call over *interned* labels:
+        :func:`repro.signal.intern_labels` maps neighbour names to int64
+        codes in sorted-name rank order, so the lexsort never touches a
+        string array yet groups come back in the same sorted order the
+        scalar path iterated; the scalar grouping survives as
         :func:`_reference_neighbor_medians` for the differential tests.
         """
-        neighbors = np.array([record.neighbor for record in records])
+        codes, names = intern_labels(
+            record.neighbor for record in records
+        )
         # arrived - sent, vectorized: IEEE-identical to the per-record
         # ``response_time`` property, without 1 Python call per record.
         response_times = np.array(
@@ -180,10 +184,10 @@ class OneSwarmTimingAttack(Technique):
         ) - np.array(
             [record.query_sent_at for record in records], dtype=float
         )
-        unique, medians, counts = grouped_median(neighbors, response_times)
+        unique, medians, counts = grouped_median(codes, response_times)
         assessments = []
-        for neighbor, median_rt, count in zip(unique, medians, counts):
-            neighbor = str(neighbor)
+        for code, median_rt, count in zip(unique, medians, counts):
+            neighbor = names[int(code)]
             median_rt = float(median_rt)
             count = int(count)
             rtt = overlay.measure_rtt(investigator, neighbor)

@@ -17,6 +17,7 @@ from repro.analysis.pylint_rules.scenario_answers import ScenarioAnswerRule
 from repro.analysis.pylint_rules.technique_contract import (
     TechniqueContractRule,
 )
+from repro.analysis.pylint_rules.telemetry import TelemetryChannelRule
 
 
 def module(source: str, path: str = "src/repro/example.py"):
@@ -408,5 +409,71 @@ class TestFloatSweep:
         )
         assert (
             findings(FloatSweepRule(), source, "src/repro/netsim/link.py")
+            == []
+        )
+
+
+class TestTelemetryChannel:
+    def test_flags_bare_print(self):
+        source = (
+            "def evaluate(self, action):\n"
+            "    print('evaluating', action)\n"
+        )
+        found = findings(TelemetryChannelRule(), source)
+        assert len(found) == 1
+        assert found[0].code == "REPRO109"
+        assert "print" in found[0].message
+        assert "repro.obs" in found[0].fix_it
+
+    def test_flags_ad_hoc_wall_clock_timing(self):
+        source = (
+            "import time\n"
+            "def evaluate(self, action):\n"
+            "    start = time.perf_counter()\n"
+            "    rule(action)\n"
+            "    elapsed = time.perf_counter() - start\n"
+        )
+        found = findings(TelemetryChannelRule(), source)
+        assert len(found) == 2
+        assert {f.code for f in found} == {"REPRO109"}
+        assert "perf_counter" in found[0].message
+
+    def test_flags_time_time(self):
+        source = "stamp = time.time()\n"
+        found = findings(TelemetryChannelRule(), source)
+        assert [f.code for f in found] == ["REPRO109"]
+
+    def test_accepts_span_usage(self):
+        source = (
+            "from repro import obs\n"
+            "def evaluate(self, action):\n"
+            "    with obs.span('engine.evaluate'):\n"
+            "        return rule(action)\n"
+        )
+        assert findings(TelemetryChannelRule(), source) == []
+
+    def test_accepts_non_timing_time_attrs(self):
+        source = "zone = time.tzname\nsleepy = time.sleep(0.1)\n"
+        assert findings(TelemetryChannelRule(), source) == []
+
+    def test_allowlists_cli_and_bench(self):
+        source = "print('Scene 18')\nstart = time.perf_counter()\n"
+        for path in (
+            "src/repro/cli.py",
+            "src/repro/__main__.py",
+            "src/repro/bench.py",
+            "src/repro/bench_techniques.py",
+        ):
+            assert findings(TelemetryChannelRule(), source, path) == []
+
+    def test_allowlists_the_obs_package(self):
+        source = "now = time.perf_counter()\n"
+        path = "src/repro/obs/tracing.py"
+        assert findings(TelemetryChannelRule(), source, path) == []
+
+    def test_only_applies_inside_repro(self):
+        source = "print('hello')\n"
+        assert (
+            findings(TelemetryChannelRule(), source, "scripts/tool.py")
             == []
         )

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import obs
 from repro.core import ComplianceEngine
 
 
@@ -9,3 +10,10 @@ from repro.core import ComplianceEngine
 def engine() -> ComplianceEngine:
     """One compliance engine shared across the suite (it is stateless)."""
     return ComplianceEngine()
+
+
+@pytest.fixture(autouse=True)
+def _obs_isolation():
+    """Telemetry is process-global state; never let it leak across tests."""
+    yield
+    obs.reset()

@@ -131,3 +131,56 @@ class TestInjectionLog:
         assert inj.fired() == 1
         assert "re-applying" in inj.render_log()
         assert inj.log[0].kind is FaultKind.COURT_DENIAL
+
+
+class TestJsonlExport:
+    def test_to_jsonl_one_object_per_record_in_firing_order(self):
+        import json
+
+        inj = injector(
+            FaultSpec(kind=FaultKind.TAP_DROPOUT, at_times=(5.0,)),
+            FaultSpec(kind=FaultKind.LINK_DROP, at_times=(1.0,)),
+        )
+        inj.fires(FaultKind.LINK_DROP, time=1.0)
+        inj.fires(FaultKind.TAP_DROPOUT, time=5.0)
+        lines = inj.to_jsonl().splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert [r["kind"] for r in records] == [
+            FaultKind.LINK_DROP.value,
+            FaultKind.TAP_DROPOUT.value,
+        ]
+        assert inj.to_jsonl().endswith("\n")
+
+    def test_to_jsonl_empty_when_nothing_fired(self):
+        inj = injector(
+            FaultSpec(kind=FaultKind.TAP_DROPOUT, at_times=(5.0,))
+        )
+        assert inj.to_jsonl() == ""
+
+    def test_identical_seeds_render_identical_bytes(self):
+        def run():
+            inj = injector(
+                FaultSpec(kind=FaultKind.COURT_DENIAL, probability=0.5),
+                seed=13,
+            )
+            for t in range(10):
+                inj.fires(FaultKind.COURT_DENIAL, time=float(t))
+            return inj.to_jsonl()
+
+        assert run() == run()
+
+    def test_record_events_reach_the_trace_when_enabled(self):
+        from repro import obs
+
+        obs.reset()
+        collector = obs.enable()
+        inj = injector(
+            FaultSpec(kind=FaultKind.TAP_DROPOUT, at_times=(5.0,))
+        )
+        inj.fires(FaultKind.TAP_DROPOUT, time=5.0)
+        obs.disable()
+        events = [r for r in collector.spans if r.name == "fault.injection"]
+        assert len(events) == 1
+        assert events[0].attrs["kind"] == FaultKind.TAP_DROPOUT.value
+        assert events[0].sim_time == 5.0

@@ -1,0 +1,88 @@
+"""Audit frames and the acquisition/authorization correlation query."""
+
+import itertools
+
+from repro import obs
+from repro.obs import ACQUISITION_SPAN, TraceCollector
+from repro.obs.audit import (
+    acquisition_spans,
+    render_audit_report,
+    unauthorized_acquisitions,
+)
+
+
+def fake_clock():
+    ticks = itertools.count()
+    return lambda: float(next(ticks))
+
+
+class TestAuditFrames:
+    def test_spans_are_stamped_with_the_enclosing_frame(self):
+        collector = TraceCollector(clock=fake_clock())
+        collector.push_audit({"docket_id": 1, "instrument_id": 5})
+        with collector.span(ACQUISITION_SPAN, scene=18):
+            pass
+        collector.pop_audit()
+        (record,) = collector.spans
+        assert record.audit == {"docket_id": 1, "instrument_id": 5}
+
+    def test_nested_frames_merge_inner_wins(self):
+        collector = TraceCollector(clock=fake_clock())
+        collector.push_audit({"docket_id": 1, "instrument_id": 5})
+        collector.push_audit({"instrument_id": 9})
+        assert collector.current_audit() == {
+            "docket_id": 1,
+            "instrument_id": 9,
+        }
+        collector.pop_audit()
+        assert collector.current_audit() == {
+            "docket_id": 1,
+            "instrument_id": 5,
+        }
+
+    def test_audit_helper_drops_none_fields(self):
+        collector = obs.enable(TraceCollector(clock=fake_clock()))
+        with obs.audit(docket_id=1, instrument_id=None):
+            with obs.span(ACQUISITION_SPAN):
+                pass
+        obs.disable()
+        (record,) = collector.spans
+        assert record.audit == {"docket_id": 1}
+
+    def test_spans_outside_any_frame_carry_empty_audit(self):
+        collector = TraceCollector(clock=fake_clock())
+        with collector.span("free"):
+            pass
+        assert collector.spans[0].audit == {}
+
+
+class TestCorrelationQuery:
+    def _trace(self):
+        collector = TraceCollector(clock=fake_clock())
+        collector.push_audit({"docket_id": 1, "instrument_id": 7})
+        with collector.span(ACQUISITION_SPAN, scene=4, needs_process=True):
+            pass
+        collector.pop_audit()
+        with collector.span(ACQUISITION_SPAN, scene=1, needs_process=False):
+            pass
+        with collector.span(ACQUISITION_SPAN, scene=12, needs_process=True):
+            pass  # gated, no frame: the accountability hole
+        with collector.span("pipeline.suppression", scene=4):
+            pass
+        return collector.spans
+
+    def test_acquisition_spans_filters_by_name(self):
+        spans = acquisition_spans(self._trace())
+        assert [record.attrs["scene"] for record in spans] == [4, 1, 12]
+
+    def test_unauthorized_means_gated_without_instrument(self):
+        holes = unauthorized_acquisitions(self._trace())
+        assert [record.attrs["scene"] for record in holes] == [12]
+
+    def test_report_names_the_hole_and_counts(self):
+        report = render_audit_report(self._trace())
+        assert "UNAUTHORIZED" in report
+        assert "3 acquisition span(s), 1 unauthorized" in report
+
+    def test_empty_trace_renders_placeholder(self):
+        assert "no acquisition spans" in render_audit_report([])

@@ -1,0 +1,125 @@
+"""Metrics registry: instrument semantics, quantiles, and exposition."""
+
+import math
+import statistics
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_increments_and_reads(self):
+        counter = Counter("repro_things_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_rejects_negative_increment(self):
+        counter = Counter("repro_things_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_labelled_series_are_independent(self):
+        counter = Counter("repro_things_total")
+        counter.inc(kind="a")
+        counter.inc(3, kind="b")
+        assert counter.value(kind="a") == 1.0
+        assert counter.value(kind="b") == 3.0
+        assert counter.value(kind="c") == 0.0
+
+    def test_rejects_invalid_metric_name(self):
+        with pytest.raises(ValueError):
+            Counter("kebab-case-name")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("repro_depth")
+        gauge.set(10.0)
+        gauge.inc(2.0)
+        gauge.dec(5.0)
+        assert gauge.value() == 7.0
+
+
+class TestHistogramQuantiles:
+    def test_matches_statistics_quantiles_within_bucket_width(self):
+        # Uniform samples over (0, 1): every populated bucket is at most
+        # DEFAULT_BUCKETS-spaced, so interpolation error is bounded by
+        # the widest populated bucket's width.
+        histogram = Histogram("repro_latency_seconds")
+        samples = [(i % 997) / 997.0 + 0.0005 for i in range(2000)]
+        for value in samples:
+            histogram.observe(value)
+        exact = statistics.quantiles(samples, n=100, method="inclusive")
+        widest = max(
+            b - a for a, b in zip(DEFAULT_BUCKETS, DEFAULT_BUCKETS[1:])
+            if a <= 1.0
+        )
+        for q, reference in ((0.50, exact[49]), (0.95, exact[94]), (0.99, exact[98])):
+            assert abs(histogram.quantile(q) - reference) <= widest
+
+    def test_min_and_max_pin_the_tails(self):
+        histogram = Histogram("repro_latency_seconds", buckets=[10.0])
+        for value in (0.25, 0.5, 0.75):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) == 0.25
+        assert histogram.quantile(1.0) == 0.75
+
+    def test_empty_histogram_quantile_is_nan(self):
+        assert math.isnan(Histogram("repro_empty").quantile(0.5))
+
+    def test_percentiles_keys(self):
+        histogram = Histogram("repro_latency_seconds")
+        histogram.observe(0.5)
+        assert set(histogram.percentiles()) == {"p50", "p95", "p99"}
+
+    def test_rejects_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            Histogram("repro_x").quantile(1.5)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("repro_a_total") is registry.counter(
+            "repro_a_total"
+        )
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total")
+        with pytest.raises(TypeError):
+            registry.gauge("repro_a_total")
+
+    def test_render_text_exposition_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_evals_total", "Total evaluations.").inc(3)
+        registry.gauge("repro_depth").set(2.0)
+        histogram = registry.histogram(
+            "repro_latency_seconds", buckets=[0.1, 1.0]
+        )
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        text = registry.render_text()
+        assert "# HELP repro_evals_total Total evaluations." in text
+        assert "# TYPE repro_evals_total counter" in text
+        assert "repro_evals_total 3" in text
+        assert 'repro_latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_latency_seconds_bucket{le="1.0"} 2' in text
+        assert 'repro_latency_seconds_bucket{le="+Inf"} 2' in text
+        assert "repro_latency_seconds_count 2" in text
+
+    def test_callback_gauge_reads_live_value_at_render(self):
+        registry = MetricsRegistry()
+        state = {"value": 1.0}
+        registry.gauge_fn("repro_live", lambda: state["value"])
+        assert "repro_live 1" in registry.render_text()
+        state["value"] = 7.0
+        assert "repro_live 7" in registry.render_text()

@@ -1,0 +1,132 @@
+"""Span collection: nesting, finish order, merging, and the noop path."""
+
+import itertools
+
+import pytest
+
+from repro import obs
+from repro.obs import NOOP_SPAN, NoopSpan, SpanRecord, TraceCollector
+
+
+def fake_clock():
+    ticks = itertools.count()
+    return lambda: float(next(ticks))
+
+
+class TestNesting:
+    def test_children_finish_before_parents(self):
+        collector = TraceCollector(clock=fake_clock())
+        with collector.span("outer"):
+            with collector.span("inner"):
+                pass
+        names = [record.name for record in collector.spans]
+        assert names == ["inner", "outer"]
+
+    def test_parent_ids_follow_with_scoping(self):
+        collector = TraceCollector(clock=fake_clock())
+        with collector.span("outer"):
+            with collector.span("middle"):
+                with collector.span("leaf"):
+                    pass
+            with collector.span("sibling"):
+                pass
+        by_name = {record.name: record for record in collector.spans}
+        assert by_name["outer"].parent_id is None
+        assert by_name["middle"].parent_id == by_name["outer"].span_id
+        assert by_name["leaf"].parent_id == by_name["middle"].span_id
+        assert by_name["sibling"].parent_id == by_name["outer"].span_id
+
+    def test_out_of_order_close_raises(self):
+        collector = TraceCollector(clock=fake_clock())
+        outer = collector.span("outer")
+        inner = collector.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(RuntimeError, match="nest"):
+            collector._close(outer)
+
+    def test_events_parent_under_open_span(self):
+        collector = TraceCollector(clock=fake_clock())
+        with collector.span("outer") as outer:
+            record = collector.event("tick", detail=1)
+        assert record.parent_id == outer.span_id
+        assert record.duration == 0.0
+
+    def test_exception_is_recorded_and_propagates(self):
+        collector = TraceCollector(clock=fake_clock())
+        with pytest.raises(ValueError):
+            with collector.span("doomed"):
+                raise ValueError("boom")
+        (record,) = collector.spans
+        assert record.attrs["error"] == "ValueError"
+
+    def test_set_attaches_attributes(self):
+        collector = TraceCollector(clock=fake_clock())
+        with collector.span("s", kind="a") as span:
+            span.set(result="ok")
+        (record,) = collector.spans
+        assert record.attrs == {"kind": "a", "result": "ok"}
+
+    def test_sim_time_rides_along(self):
+        collector = TraceCollector(clock=fake_clock())
+        with collector.span("s", sim_time=42.5):
+            pass
+        assert collector.spans[0].sim_time == 42.5
+
+
+class TestAdopt:
+    def test_renumbers_ids_preserving_shape(self):
+        worker = TraceCollector(clock=fake_clock())
+        with worker.span("case"):
+            with worker.span("step"):
+                pass
+        parent = TraceCollector(clock=fake_clock())
+        with parent.span("campaign"):
+            with parent.span("other"):
+                pass
+            parent.adopt(worker.export_records())
+        by_name = {record.name: record for record in parent.spans}
+        assert by_name["step"].parent_id == by_name["case"].span_id
+        assert by_name["case"].parent_id == by_name["campaign"].span_id
+        ids = [record.span_id for record in parent.spans]
+        assert len(set(ids)) == len(ids)
+
+    def test_explicit_parent_id_wins(self):
+        worker = TraceCollector(clock=fake_clock())
+        with worker.span("case"):
+            pass
+        parent = TraceCollector(clock=fake_clock())
+        with parent.span("root") as root:
+            pass
+        parent.adopt(worker.export_records(), parent_id=root.span_id)
+        assert parent.spans[-1].parent_id == root.span_id
+
+    def test_round_trips_through_dicts(self):
+        worker = TraceCollector(clock=fake_clock())
+        with worker.span("case", sim_time=1.5, scene=18):
+            pass
+        payload = worker.export_records()
+        restored = SpanRecord.from_dict(payload[0])
+        assert restored == worker.spans[0]
+
+
+class TestDisabledPath:
+    def test_disabled_span_is_the_shared_noop_singleton(self):
+        obs.reset()
+        assert obs.span("engine.evaluate", scene=18) is NOOP_SPAN
+        assert obs.event("tick") is None
+
+    def test_noop_span_is_inert_and_chainable(self):
+        with NOOP_SPAN as span:
+            assert span.set(anything=1) is NOOP_SPAN
+        assert NOOP_SPAN.duration == 0.0
+        assert isinstance(NOOP_SPAN, NoopSpan)
+
+    def test_enable_collects_then_disable_stops(self):
+        collector = obs.enable(TraceCollector(clock=fake_clock()))
+        with obs.span("live"):
+            pass
+        returned = obs.disable()
+        assert returned is collector
+        assert [record.name for record in collector.spans] == ["live"]
+        assert obs.span("after") is NOOP_SPAN

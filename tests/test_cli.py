@@ -129,3 +129,76 @@ class TestParser:
     def test_no_command_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestMetrics:
+    def test_metrics_renders_non_empty_exposition(self, capsys):
+        assert main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_engine_evaluations_total counter" in out
+        assert "repro_ruling_cache_hits" in out
+        assert "repro_engine_evaluate_seconds_bucket" in out
+
+
+class TestTrace:
+    def test_audit_correlates_every_gated_acquisition(self, capsys):
+        assert main(["trace", "--audit"]) == 0
+        out = capsys.readouterr().out
+        assert "20 acquisition span(s), 0 unauthorized" in out
+        assert "authorized by" in out
+        assert "docket #" in out
+
+    def test_audit_flags_non_complying_run(self, capsys):
+        assert main(["trace", "--audit", "--no-comply"]) == 1
+        assert "9 unauthorized" in capsys.readouterr().out
+
+    def test_jsonl_to_stdout(self, capsys):
+        import json
+
+        assert main(["trace"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert any(r["name"] == "pipeline.acquisition" for r in records)
+
+    def test_chrome_export_to_file(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        assert main(["trace", "--chrome", "--out", str(out)]) == 0
+        trace = json.loads(out.read_text(encoding="utf-8"))
+        assert trace["traceEvents"]
+        assert {e["ph"] for e in trace["traceEvents"]} <= {"X", "i"}
+
+
+class TestTraceOut:
+    def test_chaos_trace_out_carries_fault_events(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "chaos.jsonl"
+        code = main(
+            [
+                "chaos", "--seed", "7", "--budget", "small",
+                "--scenes", "1,5,18", "--trace-out", str(out),
+            ]
+        )
+        assert code == 0
+        records = [
+            json.loads(line)
+            for line in out.read_text(encoding="utf-8").splitlines()
+        ]
+        assert any(r["name"] == "chaos.plan" for r in records)
+        assert any(r["name"] == "fault.log" for r in records)
+
+    def test_curve_trace_out_writes_case_spans(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "curve.jsonl"
+        code = main(
+            ["curve", "--cases", "6", "--trace-out", str(out)]
+        )
+        assert code == 0
+        records = [
+            json.loads(line)
+            for line in out.read_text(encoding="utf-8").splitlines()
+        ]
+        assert any(r["name"] == "campaign.case" for r in records)
