@@ -38,32 +38,47 @@ from repro.analysis.plan import (
     plan_from_technique,
     tainted_downstream_plan,
 )
+from repro.analysis.baseline import (
+    filter_baselined,
+    load_baseline,
+    write_baseline,
+)
 from repro.analysis.plan_checker import PlanAnalyzer, PlanReport
 from repro.analysis.runner import (
+    LintRun,
     default_lint_root,
     iter_python_files,
     lint_file,
     lint_paths,
+    run_lint,
 )
+from repro.analysis.sarif import to_sarif, write_sarif
 
 __all__ = [
     "DEMO_PLANS",
     "Diagnostic",
+    "LintRun",
     "Plan",
     "PlanAnalyzer",
     "PlanReport",
     "PlanStep",
     "Severity",
     "default_lint_root",
+    "filter_baselined",
     "forfeited_consent_plan",
     "has_errors",
     "iter_python_files",
     "lint_file",
     "lint_paths",
+    "load_baseline",
     "plan_from_scenario",
     "plan_from_scene_number",
     "plan_from_technique",
     "render_report",
+    "run_lint",
     "tainted_downstream_plan",
+    "to_sarif",
     "worst_severity",
+    "write_baseline",
+    "write_sarif",
 ]

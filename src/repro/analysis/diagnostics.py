@@ -39,6 +39,8 @@ class Diagnostic:
         message: Human-readable statement of the problem.
         path: Source file the finding anchors to (lint findings).
         line: 1-based line number within ``path`` (lint findings).
+        col: 1-based column within ``line`` (lint findings; ``None``
+            when the producing rule predates column tracking).
         step: 1-based plan step number (plan findings).
         source: The body of law the finding derives from, when one does.
         authorities: Citation keys into the
@@ -52,6 +54,7 @@ class Diagnostic:
     message: str
     path: str | None = None
     line: int | None = None
+    col: int | None = None
     step: int | None = None
     source: LegalSource | None = None
     authorities: tuple[str, ...] = ()
@@ -62,6 +65,8 @@ class Diagnostic:
         where = ""
         if self.path is not None:
             where = f"{self.path}:{self.line if self.line else '?'}: "
+            if self.line and self.col:
+                where = f"{self.path}:{self.line}:{self.col}: "
         elif self.step is not None:
             where = f"step {self.step}: "
         cites = f" [{', '.join(self.authorities)}]" if self.authorities else ""

@@ -13,7 +13,11 @@ from repro.analysis.pylint_rules import (  # noqa: F401  (registration)
     enum_dispatch,
     fault_swallow,
     float_sweep,
+    gated_acquisition,
+    hash_checkpoint,
     mutable_defaults,
+    poisonous_flow,
+    retry_backoff,
     scenario_answers,
     technique_contract,
     telemetry,

@@ -14,8 +14,12 @@ import abc
 import ast
 import dataclasses
 from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 from repro.analysis.diagnostics import Diagnostic, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.flow.project import Project
 
 
 @dataclasses.dataclass(frozen=True)
@@ -48,6 +52,26 @@ class LintRule(abc.ABC):
     #: One-line description shown by ``repro lint --rules``.
     description: str = ""
 
+    def bind(self, project: "Project") -> None:
+        """Give the rule the whole-file-set view before any check.
+
+        The runner calls this once per run with a
+        :class:`~repro.analysis.flow.project.Project` holding every
+        module being linted, so interprocedural rules can resolve calls
+        across files.  Rules run standalone (unit tests) never get
+        bound; :meth:`project_for` falls back to a one-module project.
+        """
+        self._project: Project | None = project
+
+    def project_for(self, module: ModuleUnderLint) -> "Project":
+        """The bound project, or a single-module project as fallback."""
+        project: Project | None = getattr(self, "_project", None)
+        if project is not None and project.module_for(module.path) is module:
+            return project
+        from repro.analysis.flow.project import Project
+
+        return Project.single(module)
+
     def applies_to(self, module: ModuleUnderLint) -> bool:
         """Whether this rule should run on the module (default: yes)."""
         return True
@@ -65,12 +89,14 @@ class LintRule(abc.ABC):
         severity: Severity = Severity.ERROR,
     ) -> Diagnostic:
         """Build a diagnostic anchored to an AST node of this module."""
+        col_offset = getattr(node, "col_offset", None)
         return Diagnostic(
             severity=severity,
             code=self.code,
             message=message,
             path=module.path,
             line=getattr(node, "lineno", None),
+            col=None if col_offset is None else col_offset + 1,
             fix_it=fix_it,
         )
 

@@ -11,7 +11,11 @@ to catch.
 
 A handler that catches a fault-family exception inside a technique entry
 point must either re-raise or visibly record the degradation: mention
-``confidence`` or ``provenance``, or call a ``record*`` method.
+``confidence`` or ``provenance``, or call a ``record*`` method — and it
+must do so on **every** path through the handler.  The check runs a
+must-pass analysis over the handler body's own CFG, so a handler that
+records only inside one branch (``if partial: confidence = 0.5``) is
+still a finding: the other branch launders the fault.
 """
 
 from __future__ import annotations
@@ -20,6 +24,11 @@ import ast
 from collections.abc import Iterator
 
 from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.flow.cfg import (
+    build_statements_cfg,
+    iter_element_nodes,
+)
+from repro.analysis.flow.dataflow import all_paths_cross
 from repro.analysis.pylint_rules.base import (
     LintRule,
     ModuleUnderLint,
@@ -71,9 +80,9 @@ def _caught_fault_names(handler: ast.ExceptHandler) -> list[str]:
     ]
 
 
-def _records_degradation(handler: ast.ExceptHandler) -> bool:
-    """Whether the handler re-raises or visibly records the fault."""
-    for node in ast.walk(handler):
+def _records_element(element: ast.AST) -> bool:
+    """Whether evaluating this CFG element records the degradation."""
+    for node in iter_element_nodes(element):
         if isinstance(node, ast.Raise):
             return True
         if isinstance(node, ast.Name) and node.id in _RECORDING_NAMES:
@@ -85,6 +94,16 @@ def _records_degradation(handler: ast.ExceptHandler) -> bool:
         if isinstance(node, ast.keyword) and node.arg in _RECORDING_NAMES:
             return True
     return False
+
+
+def _records_on_all_paths(handler: ast.ExceptHandler) -> bool:
+    """Whether every path through the handler re-raises or records.
+
+    Built on the handler body's own CFG: a recording statement guarded
+    by a condition covers only the paths that execute it.
+    """
+    cfg = build_statements_cfg(list(handler.body))
+    return all_paths_cross(cfg, _records_element)
 
 
 def _is_entry_point(function: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
@@ -99,7 +118,8 @@ class FaultSwallowRule(LintRule):
     name = "fault-swallow"
     description = (
         "technique run/detect methods may not catch FaultError without "
-        "recording it in the result's confidence or provenance"
+        "recording it in the result's confidence or provenance on "
+        "every handler path"
     )
 
     def applies_to(self, module: ModuleUnderLint) -> bool:
@@ -117,18 +137,19 @@ class FaultSwallowRule(LintRule):
                 if not isinstance(node, ast.ExceptHandler):
                     continue
                 caught = _caught_fault_names(node)
-                if not caught or _records_degradation(node):
+                if not caught or _records_on_all_paths(node):
                     continue
                 names = ", ".join(dict.fromkeys(caught))
                 yield self.diagnostic(
                     module,
                     node,
                     f"`{function.name}` catches {names} without "
-                    "recording the degradation; the caller receives a "
-                    "full-confidence result built from faulted input",
+                    "recording the degradation on every handler path; "
+                    "the caller can receive a full-confidence result "
+                    "built from faulted input",
                     fix_it=(
                         "re-raise, or reflect the fault in the result's "
                         "`confidence`/`provenance` (or a `record*` call) "
-                        "inside the handler"
+                        "on every path through the handler"
                     ),
                 )

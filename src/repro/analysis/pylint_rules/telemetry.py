@@ -6,6 +6,13 @@ can collect, aggregate, or gate.  Now that :mod:`repro.obs` exists,
 spans and metrics are the sanctioned channel: a bare ``print(`` or an
 ad-hoc wall-clock timing read inside ``src/repro/`` is a diagnostic.
 
+Detection is symbol-table backed rather than textual: ``clock.time()``
+is flagged when ``clock`` is bound by ``import time as clock``, a bare
+``perf_counter()`` is flagged when bound by ``from time import
+perf_counter``, and a local ``print`` binding shadowing the builtin is
+*not* flagged — the rule resolves what the name at the call site
+actually refers to.
+
 User-facing CLI modules are allowlisted (printing *is* their job), and
 so are the benchmark drivers (timing *is* their job) and the telemetry
 package itself (it owns the clock).
@@ -17,6 +24,7 @@ import ast
 from collections.abc import Iterator
 
 from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.flow.symbols import Binding, BindingKind
 from repro.analysis.pylint_rules.base import (
     LintRule,
     ModuleUnderLint,
@@ -57,6 +65,19 @@ def _attribute_chain(node: ast.expr) -> tuple[str, ...]:
     return ()
 
 
+def _is_time_module(binding: Binding | None, bare_name: str) -> bool:
+    """Whether a base name refers to the stdlib ``time`` module.
+
+    An explicit ``import time [as alias]`` binding settles it; an
+    unresolved bare ``time`` is assumed to be the module (the
+    conventional name), while any other binding — a parameter, an
+    assignment, an import of a different module — is not timing.
+    """
+    if binding is None:
+        return bare_name == "time"
+    return binding.kind is BindingKind.IMPORT and binding.module == "time"
+
+
 @register
 class TelemetryChannelRule(LintRule):
     """No bare print() or ad-hoc time.time() timing outside the CLI."""
@@ -78,34 +99,50 @@ class TelemetryChannelRule(LintRule):
         return parts[-1] not in _ALLOWLISTED_FILES
 
     def check(self, module: ModuleUnderLint) -> Iterator[Diagnostic]:
+        table = self.project_for(module).symbols(module)
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
                 continue
-            if isinstance(node.func, ast.Name) and node.func.id == "print":
-                yield self.diagnostic(
-                    module,
-                    node,
-                    "bare `print()` in a library module; nothing can "
-                    "collect or silence it",
-                    fix_it=(
-                        "return the text (let the CLI print it) or emit "
-                        "a repro.obs span/metric"
-                    ),
-                )
+            func = node.func
+            if isinstance(func, ast.Name):
+                binding = table.resolve(func.id, within=func)
+                if func.id == "print" and binding is None:
+                    yield self.diagnostic(
+                        module,
+                        node,
+                        "bare `print()` in a library module; nothing "
+                        "can collect or silence it",
+                        fix_it=(
+                            "return the text (let the CLI print it) or "
+                            "emit a repro.obs span/metric"
+                        ),
+                    )
+                elif (
+                    binding is not None
+                    and binding.kind is BindingKind.FROM_IMPORT
+                    and binding.module == "time"
+                    and binding.origin in _TIMING_ATTRS
+                ):
+                    yield self._timing_diagnostic(
+                        module, node, binding.origin
+                    )
                 continue
-            chain = _attribute_chain(node.func)
-            if (
-                len(chain) == 2
-                and chain[0] == "time"
-                and chain[1] in _TIMING_ATTRS
-            ):
-                yield self.diagnostic(
-                    module,
-                    node,
-                    f"ad-hoc `time.{chain[1]}()` timing in a library "
-                    "module; the measurement is invisible to telemetry",
-                    fix_it=(
-                        "wrap the region in `repro.obs.span(...)` (or "
-                        "observe into a registry histogram) instead"
-                    ),
-                )
+            chain = _attribute_chain(func)
+            if len(chain) == 2 and chain[1] in _TIMING_ATTRS:
+                binding = table.resolve(chain[0], within=func)
+                if _is_time_module(binding, chain[0]):
+                    yield self._timing_diagnostic(module, node, chain[1])
+
+    def _timing_diagnostic(
+        self, module: ModuleUnderLint, node: ast.Call, attr: str
+    ) -> Diagnostic:
+        return self.diagnostic(
+            module,
+            node,
+            f"ad-hoc `time.{attr}()` timing in a library "
+            "module; the measurement is invisible to telemetry",
+            fix_it=(
+                "wrap the region in `repro.obs.span(...)` (or "
+                "observe into a registry histogram) instead"
+            ),
+        )

@@ -232,7 +232,15 @@ def _cmd_authorities(args: argparse.Namespace) -> int:
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from repro.analysis import has_errors, lint_paths, render_report
+    from repro.analysis import (
+        filter_baselined,
+        has_errors,
+        load_baseline,
+        render_report,
+        run_lint,
+        write_baseline,
+        write_sarif,
+    )
     from repro.analysis.pylint_rules import all_rules
 
     if args.rules:
@@ -240,8 +248,34 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             print(f"{rule.code}  {rule.name:28s} {rule.description}")
         return 0
     paths = [Path(p) for p in args.paths] if args.paths else None
-    diagnostics = lint_paths(paths)
+    run = run_lint(paths)
+    diagnostics = run.diagnostics
+
+    if args.write_baseline:
+        count = write_baseline(Path(args.write_baseline), diagnostics)
+        print(f"baseline written: {count} finding(s) adopted")
+        return 0
+    baselined = 0
+    if args.baseline:
+        accepted = load_baseline(Path(args.baseline))
+        diagnostics, baselined = filter_baselined(diagnostics, accepted)
+    if args.sarif:
+        write_sarif(Path(args.sarif), diagnostics, all_rules())
+
     print(render_report(diagnostics))
+    extras = []
+    if run.suppressed:
+        extras.append(f"{run.suppressed} suppressed inline")
+    if baselined:
+        extras.append(f"{baselined} baselined")
+    if extras:
+        print(f"({', '.join(extras)})")
+    if args.timings:
+        for code, seconds in sorted(
+            run.timings.items(), key=lambda item: -item[1]
+        ):
+            print(f"{code:12s} {seconds * 1000:8.1f} ms")
+        print(f"{run.files} file(s) linted")
     return 1 if has_errors(diagnostics) else 0
 
 
@@ -484,6 +518,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--rules",
         action="store_true",
         help="list the registered lint rules and exit",
+    )
+    lint.add_argument(
+        "--sarif",
+        default=None,
+        metavar="FILE",
+        help="also write the findings as SARIF 2.1.0 to FILE",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="report only findings not recorded in this baseline file",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="adopt every current finding into FILE and exit 0",
+    )
+    lint.add_argument(
+        "--timings",
+        action="store_true",
+        help="print per-rule wall-clock timings after the report",
     )
     lint.set_defaults(func=_cmd_lint)
 

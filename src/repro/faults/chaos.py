@@ -284,6 +284,9 @@ def _run_techniques(seed: int, injector: FaultInjector) -> bool:
         overlay.befriend("le", name)
     attack = OneSwarmTimingAttack()
     trials = 4
+    # repro-lint: disable=REPRO110 -- chaos harness queries a synthetic
+    # overlay of simulated peers; no real-world acquisition occurs and
+    # the records never enter an evidentiary chain.
     records = overlay.query("le", "cp", ttl=4, trials=trials)
     degraded = [record for record in records if rng.random() > 0.3]
     result = attack.assess_records(overlay, "le", "cp", trials, degraded)
@@ -301,6 +304,9 @@ def _run_storage(seed: int, injector: FaultInjector) -> bool:
     for index in range(device.n_blocks):
         device.write_block(index, rng.randbytes(device.block_size))
     try:
+        # repro-lint: disable=REPRO110 -- chaos harness images a
+        # synthetic in-memory device it created itself; there is no
+        # seized medium and no process requirement to gate.
         image = image_device(device, max_attempts=4)
     except StorageFault:
         # Failing loudly is acceptable resilience; silently returning a

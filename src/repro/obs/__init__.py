@@ -44,7 +44,14 @@ from repro.obs.registry import (
     Histogram,
     MetricsRegistry,
 )
-from repro.obs.tracing import NOOP_SPAN, NoopSpan, Span, SpanRecord, TraceCollector
+from repro.obs.tracing import (
+    NOOP_SPAN,
+    NoopSpan,
+    Span,
+    SpanRecord,
+    TraceCollector,
+    clock,
+)
 
 
 class ObsState:
@@ -220,6 +227,7 @@ __all__ = [
     "acquisition_spans",
     "audit",
     "bind_ruling_cache",
+    "clock",
     "disable",
     "enable",
     "event",

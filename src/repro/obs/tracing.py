@@ -112,6 +112,12 @@ class NoopSpan:
 
 NOOP_SPAN = NoopSpan()
 
+#: The telemetry layer's wall clock.  Library code that needs a raw
+#: duration (the lint runner's per-rule timings) reads it from here so
+#: the clock stays owned by ``repro.obs`` — a bare ``time.perf_counter``
+#: elsewhere is a REPRO109 finding.
+clock: Callable[[], float] = time.perf_counter
+
 
 class Span:
     """A live span; use as a context manager.

@@ -117,6 +117,10 @@ class ForensicExaminer:
         the image's raw bytes plus the filesystem's metadata — the
         original is never modified (reads only).
         """
+        # repro-lint: disable=REPRO110 -- the examiner images media that
+        # was already seized under the warrant the scenario layer gated;
+        # re-imaging in the lab is analysis of lawfully held evidence,
+        # not a new acquisition requiring fresh process.
         image = image_device(filesystem.device)
         image_verified = image.sha256() == filesystem.device.sha256()
 

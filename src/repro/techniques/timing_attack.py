@@ -146,6 +146,10 @@ class OneSwarmTimingAttack(Technique):
             Assessments for every neighbour that delivered at least one
             response.
         """
+        # repro-lint: disable=REPRO110 -- paper section IV.A: OneSwarm
+        # peers volunteer timing responses to any participant by protocol
+        # design, so querying as an ordinary peer is not a search and
+        # needs no process (the compliance verdict is NOT_REGULATED).
         records = overlay.query(
             investigator, file_id, ttl=ttl, trials=trials
         )

@@ -1,0 +1,227 @@
+"""CFG construction: golden renderings and structural invariants."""
+
+import ast
+
+import pytest
+
+from repro.analysis.flow import build_cfg, render_cfg
+from repro.analysis.flow.cfg import iter_element_nodes
+
+
+def cfg_of(source: str):
+    tree = ast.parse(source)
+    function = tree.body[0]
+    assert isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return build_cfg(function)
+
+
+class TestGoldenRenderings:
+    """Pinned shapes for the trickiest constructs."""
+
+    def test_try_finally_with_return(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    try:\n"
+            "        if x:\n"
+            "            return 1\n"
+            "        step()\n"
+            "    finally:\n"
+            "        cleanup()\n"
+            "    after()\n"
+        )
+        assert render_cfg(cfg) == (
+            "b0[entry] -> b2\n"
+            "b1[finally] L7:cleanup() -> b6, b7\n"
+            "b2[try] L3:x -> b3, b5\n"
+            "b3[then] L4:return 1 -> b1\n"
+            "b5[after-if] L5:step() -> b1\n"
+            "b6[after-try] L8:after() -> b7\n"
+            "b7[exit]"
+        )
+
+    def test_while_else_break(self):
+        cfg = cfg_of(
+            "def f(xs):\n"
+            "    while xs:\n"
+            "        if bad(xs):\n"
+            "            break\n"
+            "        xs = step(xs)\n"
+            "    else:\n"
+            "        only_on_normal_exit()\n"
+            "    after()\n"
+        )
+        assert render_cfg(cfg) == (
+            "b0[entry] -> b1\n"
+            "b1[loop-head] L2:xs -> b2, b6\n"
+            "b2[loop-body] L3:bad(xs) -> b3, b5\n"
+            "b3[then] L4:break -> b7\n"
+            "b5[after-if] L5:xs = step(xs) -> b1\n"
+            "b6[loop-else] L7:only_on_normal_exit() -> b7\n"
+            "b7[after-loop] L8:after() -> b8\n"
+            "b8[exit]"
+        )
+
+    def test_nested_with(self):
+        cfg = cfg_of(
+            "def f():\n"
+            "    with open('a') as a:\n"
+            "        with open('b') as b:\n"
+            "            use(a, b)\n"
+            "    after()\n"
+        )
+        assert render_cfg(cfg) == (
+            "b0[entry] L2:open('a'); L2:a -> b1\n"
+            "b1[with-body] L3:open('b'); L3:b -> b2\n"
+            "b2[with-body] L4:use(a, b) -> b3\n"
+            "b3[after-with] -> b4\n"
+            "b4[after-with] L5:after() -> b5\n"
+            "b5[exit]"
+        )
+
+
+class TestStructure:
+    def test_if_else_joins(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a()\n"
+            "    else:\n"
+            "        b()\n"
+            "    c()\n"
+        )
+        joins = [b for b in cfg.reachable_blocks() if b.label == "after-if"]
+        assert len(joins) == 1
+        assert sorted(joins[0].predecessors) == [1, 2]
+
+    def test_try_body_has_edges_to_every_handler(self):
+        cfg = cfg_of(
+            "def f():\n"
+            "    try:\n"
+            "        risky()\n"
+            "    except ValueError:\n"
+            "        a()\n"
+            "    except KeyError:\n"
+            "        b()\n"
+        )
+        try_blocks = [
+            b for b in cfg.reachable_blocks() if b.label == "try"
+        ]
+        handlers = sorted(
+            b.index for b in cfg.blocks if b.label == "except"
+        )
+        assert len(handlers) == 2
+        for block in try_blocks:
+            assert set(handlers) <= set(block.successors)
+
+    def test_raise_without_try_exits(self):
+        cfg = cfg_of("def f():\n    raise ValueError('x')\n")
+        raisers = [
+            b
+            for b in cfg.reachable_blocks()
+            if any(isinstance(e, ast.Raise) for e in b.elements)
+        ]
+        assert raisers and all(
+            cfg.exit in b.successors for b in raisers
+        )
+
+    def test_for_else_runs_only_from_head(self):
+        cfg = cfg_of(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        use(x)\n"
+            "    else:\n"
+            "        done()\n"
+        )
+        else_blocks = [
+            b for b in cfg.reachable_blocks() if b.label == "loop-else"
+        ]
+        heads = [
+            b.index for b in cfg.reachable_blocks() if b.label == "loop-head"
+        ]
+        assert len(else_blocks) == 1
+        assert else_blocks[0].predecessors == heads
+
+    def test_match_without_wildcard_falls_through(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    match x:\n"
+            "        case 1:\n"
+            "            a()\n"
+            "    after()\n"
+        )
+        after = [
+            b for b in cfg.reachable_blocks() if b.label == "after-match"
+        ][0]
+        # Both the subject block and the case body reach the join.
+        assert len(after.predecessors) == 2
+
+    def test_match_with_wildcard_does_not_fall_through(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    match x:\n"
+            "        case 1:\n"
+            "            a()\n"
+            "        case _:\n"
+            "            b()\n"
+            "    after()\n"
+        )
+        after = [
+            b for b in cfg.reachable_blocks() if b.label == "after-match"
+        ][0]
+        case_blocks = {
+            b.index for b in cfg.reachable_blocks() if b.label == "case"
+        }
+        assert set(after.predecessors) <= case_blocks
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "def f(x):\n    if x:\n        a()\n    b()\n",
+            "def f(xs):\n    for x in xs:\n        use(x)\n",
+            "def f():\n    try:\n        a()\n    except E:\n        b()\n"
+            "    finally:\n        c()\n",
+            "def f():\n    while True:\n        if q():\n            break\n",
+            "def f():\n    return 1\n",
+        ],
+    )
+    def test_exit_is_reachable_and_terminal(self, source):
+        cfg = cfg_of(source)
+        assert cfg.exit in cfg.reachable
+        assert cfg.blocks[cfg.exit].successors == []
+
+    def test_predecessors_mirror_successors(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    try:\n"
+            "        while x:\n"
+            "            x = step(x)\n"
+            "    except E:\n"
+            "        pass\n"
+        )
+        for block in cfg.blocks:
+            for successor in block.successors:
+                assert block.index in cfg.blocks[successor].predecessors
+            for predecessor in block.predecessors:
+                assert block.index in cfg.blocks[predecessor].successors
+
+
+class TestElementWalk:
+    def test_nested_function_bodies_are_opaque(self):
+        tree = ast.parse(
+            "def outer():\n"
+            "    def inner():\n"
+            "        hidden()\n"
+            "    visible()\n"
+        )
+        function = tree.body[0]
+        cfg = build_cfg(function)
+        names = {
+            node.func.id
+            for block in cfg.reachable_blocks()
+            for element in block.elements
+            for node in iter_element_nodes(element)
+            if isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+        }
+        assert "visible" in names
+        assert "hidden" not in names

@@ -1,0 +1,200 @@
+"""The worklist solver and the must-pass analyses built on it."""
+
+import ast
+
+from repro.analysis.flow import (
+    Direction,
+    build_cfg,
+    find_unguarded_path,
+    must_pass_positions,
+    solve,
+)
+from repro.analysis.flow.cfg import iter_element_nodes
+from repro.analysis.flow.dataflow import all_paths_cross
+
+
+def cfg_of(source: str):
+    return build_cfg(ast.parse(source).body[0])
+
+
+def is_call_to(name):
+    def predicate(element):
+        return any(
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == name
+            for node in iter_element_nodes(element)
+        )
+
+    return predicate
+
+
+def positions_of(cfg, name):
+    found = []
+    for block in cfg.reachable_blocks():
+        for index, element in enumerate(block.elements):
+            if is_call_to(name)(element):
+                found.append((block.index, index))
+    return found
+
+
+class TestMustPass:
+    def test_gate_on_only_one_branch_is_not_must(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        gate()\n"
+            "    target()\n"
+        )
+        gated = must_pass_positions(cfg, is_call_to("gate"))
+        [position] = positions_of(cfg, "target")
+        assert gated[position] is False
+
+    def test_gate_on_both_branches_is_must(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        gate()\n"
+            "    else:\n"
+            "        gate()\n"
+            "    target()\n"
+        )
+        gated = must_pass_positions(cfg, is_call_to("gate"))
+        [position] = positions_of(cfg, "target")
+        assert gated[position] is True
+
+    def test_gate_before_loop_covers_body(self):
+        cfg = cfg_of(
+            "def f(xs):\n"
+            "    gate()\n"
+            "    for x in xs:\n"
+            "        target()\n"
+        )
+        gated = must_pass_positions(cfg, is_call_to("gate"))
+        [position] = positions_of(cfg, "target")
+        assert gated[position] is True
+
+    def test_gate_later_in_same_block_does_not_count(self):
+        cfg = cfg_of("def f():\n    target()\n    gate()\n")
+        gated = must_pass_positions(cfg, is_call_to("gate"))
+        [position] = positions_of(cfg, "target")
+        assert gated[position] is False
+
+    def test_try_handler_path_can_bypass_gate(self):
+        # The gate sits after the risky call; an exception can jump to
+        # the handler before it executes, so the handler's target is
+        # not covered.
+        cfg = cfg_of(
+            "def f():\n"
+            "    try:\n"
+            "        risky()\n"
+            "        gate()\n"
+            "    except Error:\n"
+            "        target()\n"
+        )
+        gated = must_pass_positions(cfg, is_call_to("gate"))
+        [position] = positions_of(cfg, "target")
+        assert gated[position] is False
+
+
+class TestUnguardedPath:
+    def test_path_goes_through_ungated_branch(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        gate()\n"
+            "    else:\n"
+            "        nothing()\n"
+            "    target()\n"
+        )
+        [(block, index)] = positions_of(cfg, "target")
+        path = find_unguarded_path(cfg, block, index, is_call_to("gate"))
+        assert path is not None
+        labels = [cfg.blocks[i].label for i in path]
+        assert "else" in labels and "then" not in labels
+
+    def test_no_path_when_fully_gated(self):
+        cfg = cfg_of("def f():\n    gate()\n    target()\n")
+        [(block, index)] = positions_of(cfg, "target")
+        assert (
+            find_unguarded_path(cfg, block, index, is_call_to("gate"))
+            is None
+        )
+
+
+class TestAllPathsCross:
+    def test_unconditional_barrier(self):
+        cfg = cfg_of("def f():\n    gate()\n    other()\n")
+        assert all_paths_cross(cfg, is_call_to("gate")) is True
+
+    def test_conditional_barrier(self):
+        cfg = cfg_of("def f(x):\n    if x:\n        gate()\n")
+        assert all_paths_cross(cfg, is_call_to("gate")) is False
+
+    def test_raise_counts_as_its_own_path(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        raise Error()\n"
+            "    gate()\n"
+        )
+        # The raising path never crosses the gate, but it does cross
+        # the raise; with the barrier being either, all paths cross.
+        barrier = lambda e: is_call_to("gate")(e) or any(  # noqa: E731
+            isinstance(n, ast.Raise) for n in iter_element_nodes(e)
+        )
+        assert all_paths_cross(cfg, barrier) is True
+        assert all_paths_cross(cfg, is_call_to("gate")) is False
+
+
+class TestGenericSolver:
+    def test_forward_reaching_gate_names(self):
+        cfg = cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a()\n"
+            "    else:\n"
+            "        b()\n"
+            "    join()\n"
+        )
+
+        def transfer(block, fact):
+            names = {
+                node.func.id
+                for element in cfg.blocks[block].elements
+                for node in iter_element_nodes(element)
+                if isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+            }
+            return fact | names
+
+        solution = solve(
+            cfg,
+            boundary=frozenset(),
+            top=frozenset(),
+            transfer=transfer,
+            join=lambda p, q: p | q,
+        )
+        assert {"a", "b", "join"} <= solution[cfg.exit][1]
+
+    def test_backward_live_names(self):
+        cfg = cfg_of("def f():\n    use(x)\n")
+
+        def transfer(block, fact):
+            reads = {
+                node.id
+                for element in cfg.blocks[block].elements
+                for node in iter_element_nodes(element)
+                if isinstance(node, ast.Name)
+            }
+            return fact | reads
+
+        solution = solve(
+            cfg,
+            boundary=frozenset(),
+            top=frozenset(),
+            transfer=transfer,
+            join=lambda p, q: p | q,
+            direction=Direction.BACKWARD,
+        )
+        assert "x" in solution[cfg.entry][1]

@@ -1,0 +1,152 @@
+"""Dominance: differential against a naive fixpoint, plus properties."""
+
+import ast
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.flow import (
+    back_edges,
+    build_cfg,
+    dominator_sets,
+    dominator_tree_children,
+    immediate_dominators,
+    natural_loop,
+)
+from repro.analysis.flow.cfg import Cfg, CfgBlock
+
+
+def synthetic_cfg(n_blocks: int, edges: list[tuple[int, int]]) -> Cfg:
+    """A CFG with the given shape; block 0 is entry, n-1 is exit."""
+    blocks = [CfgBlock(index=i, label=f"b{i}") for i in range(n_blocks)]
+    for a, b in edges:
+        if b not in blocks[a].successors:
+            blocks[a].successors.append(b)
+            blocks[b].predecessors.append(a)
+    seen: set[int] = set()
+    stack = [0]
+    while stack:
+        index = stack.pop()
+        if index in seen:
+            continue
+        seen.add(index)
+        stack.extend(blocks[index].successors)
+    return Cfg(
+        blocks=blocks,
+        entry=0,
+        exit=n_blocks - 1,
+        reachable=frozenset(seen),
+    )
+
+
+def naive_dominator_sets(cfg: Cfg) -> dict[int, frozenset[int]]:
+    """Textbook O(n^2) dataflow: dom(b) = {b} | AND over preds."""
+    reachable = sorted(cfg.reachable)
+    everything = frozenset(reachable)
+    doms = {b: everything for b in reachable}
+    doms[cfg.entry] = frozenset({cfg.entry})
+    changed = True
+    while changed:
+        changed = False
+        for block in reachable:
+            if block == cfg.entry:
+                continue
+            predecessors = [
+                p
+                for p in cfg.blocks[block].predecessors
+                if p in cfg.reachable
+            ]
+            if not predecessors:
+                continue
+            merged = everything
+            for predecessor in predecessors:
+                merged &= doms[predecessor]
+            updated = merged | {block}
+            if updated != doms[block]:
+                doms[block] = updated
+                changed = True
+    return doms
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    possible = [
+        (a, b) for a in range(n) for b in range(n) if a != b
+    ]
+    edges = draw(
+        st.lists(st.sampled_from(possible), max_size=4 * n, unique=True)
+    )
+    # Guarantee a spine so most blocks are reachable.
+    edges.extend((i, i + 1) for i in range(n - 1))
+    return synthetic_cfg(n, edges)
+
+
+class TestDifferential:
+    @given(random_graphs())
+    @settings(max_examples=200, deadline=None)
+    def test_chk_matches_naive_dominators(self, cfg):
+        assert dominator_sets(cfg) == naive_dominator_sets(cfg)
+
+    @given(random_graphs())
+    @settings(max_examples=200, deadline=None)
+    def test_idom_is_unique_and_tree_is_acyclic(self, cfg):
+        idom = immediate_dominators(cfg)
+        assert idom[cfg.entry] is None
+        # Every reachable block (entry aside) has exactly one idom, and
+        # walking idoms always terminates at the entry: a tree, no cycle.
+        for block in cfg.reachable:
+            current = block
+            hops = 0
+            while idom[current] is not None:
+                current = idom[current]
+                hops += 1
+                assert hops <= len(cfg.blocks)
+            assert current == cfg.entry
+
+    @given(random_graphs())
+    @settings(max_examples=100, deadline=None)
+    def test_tree_children_partition_non_entry_blocks(self, cfg):
+        idom = immediate_dominators(cfg)
+        children = dominator_tree_children(idom)
+        listed = [c for kids in children.values() for c in kids]
+        assert sorted(listed) == sorted(
+            b for b in idom if idom[b] is not None
+        )
+
+
+class TestOnRealFunctions:
+    def test_loop_head_dominates_body(self):
+        cfg = build_cfg(
+            ast.parse(
+                "def f(xs):\n"
+                "    total = 0\n"
+                "    for x in xs:\n"
+                "        total += x\n"
+                "    return total\n"
+            ).body[0]
+        )
+        (tail, head) = back_edges(cfg)[0]
+        doms = dominator_sets(cfg)
+        assert head in doms[tail]
+
+    def test_natural_loop_contains_head_and_tail_only_loop_blocks(self):
+        cfg = build_cfg(
+            ast.parse(
+                "def f(x):\n"
+                "    pre()\n"
+                "    while x:\n"
+                "        x = step(x)\n"
+                "    post()\n"
+            ).body[0]
+        )
+        (tail, head) = back_edges(cfg)[0]
+        loop = natural_loop(cfg, tail, head)
+        labels = {cfg.blocks[i].label for i in loop}
+        assert labels == {"loop-head", "loop-body"}
+
+    def test_straight_line_has_no_back_edges(self):
+        cfg = build_cfg(
+            ast.parse("def f():\n    a()\n    b()\n").body[0]
+        )
+        assert back_edges(cfg) == []

@@ -1,0 +1,210 @@
+"""Symbol table scoping rules and project-level call resolution."""
+
+import ast
+
+from repro.analysis.flow import BindingKind, Project, ScopedSymbolTable
+from repro.analysis.pylint_rules.base import ModuleUnderLint
+
+
+def table_of(source: str) -> tuple[ScopedSymbolTable, ast.Module]:
+    tree = ast.parse(source)
+    return ScopedSymbolTable(tree), tree
+
+
+def find_call(tree: ast.Module, name: str) -> ast.Call:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == name:
+                return node
+            if isinstance(func, ast.Attribute):
+                base = func.value
+                if isinstance(base, ast.Name) and base.id == name:
+                    return node
+    raise AssertionError(f"no call involving {name!r}")
+
+
+class TestBindings:
+    def test_import_alias_binds_alias_with_module(self):
+        table, tree = table_of("import time as clock\nclock.time()\n")
+        call = find_call(tree, "clock")
+        binding = table.resolve("clock", within=call.func)
+        assert binding is not None
+        assert binding.kind is BindingKind.IMPORT
+        assert binding.module == "time"
+
+    def test_from_import_records_origin(self):
+        table, _ = table_of("from time import perf_counter as pc\n")
+        binding = table.resolve("pc")
+        assert binding is not None
+        assert binding.kind is BindingKind.FROM_IMPORT
+        assert (binding.module, binding.origin) == ("time", "perf_counter")
+
+    def test_parameter_shadows_module_binding(self):
+        table, tree = table_of(
+            "import time\n"
+            "def f(time):\n"
+            "    return time.time()\n"
+        )
+        call = find_call(tree, "time")
+        binding = table.resolve("time", within=call.func)
+        assert binding is not None
+        assert binding.kind is BindingKind.PARAMETER
+
+    def test_local_assignment_shadows_builtin(self):
+        table, tree = table_of(
+            "def f():\n"
+            "    print = collect\n"
+            "    print('x')\n"
+        )
+        call = find_call(tree, "print")
+        binding = table.resolve("print", within=call)
+        assert binding is not None
+        assert binding.kind is BindingKind.ASSIGNMENT
+
+    def test_unbound_name_resolves_to_none(self):
+        table, tree = table_of("def f():\n    print('x')\n")
+        call = find_call(tree, "print")
+        assert table.resolve("print", within=call) is None
+
+
+class TestScopingRules:
+    def test_method_does_not_see_class_body_names(self):
+        table, tree = table_of(
+            "class C:\n"
+            "    helper = object()\n"
+            "    def m(self):\n"
+            "        return helper\n"
+        )
+        method = tree.body[0].body[1]
+        use = method.body[0].value
+        assert table.resolve("helper", within=use) is None
+
+    def test_class_body_sees_its_own_names(self):
+        table, tree = table_of(
+            "class C:\n"
+            "    helper = object()\n"
+            "    other = helper\n"
+        )
+        use = tree.body[0].body[1].value
+        binding = table.resolve("helper", within=use)
+        assert binding is not None
+
+    def test_comprehension_target_stays_inside(self):
+        table, tree = table_of(
+            "def f(xs):\n"
+            "    ys = [x for x in xs]\n"
+            "    return x\n"
+        )
+        trailing = tree.body[0].body[1].value
+        assert table.resolve("x", within=trailing) is None
+
+    def test_nested_function_sees_enclosing_function_names(self):
+        table, tree = table_of(
+            "def outer():\n"
+            "    secret = 1\n"
+            "    def inner():\n"
+            "        return secret\n"
+        )
+        inner = tree.body[0].body[1]
+        use = inner.body[0].value
+        binding = table.resolve("secret", within=use)
+        assert binding is not None
+        assert binding.kind is BindingKind.ASSIGNMENT
+
+    def test_walrus_binds_in_enclosing_scope(self):
+        table, tree = table_of(
+            "def f(xs):\n"
+            "    if (n := len(xs)) > 3:\n"
+            "        pass\n"
+            "    return n\n"
+        )
+        trailing = tree.body[0].body[1].value
+        assert table.resolve("n", within=trailing) is not None
+
+
+def project_of(*sources: tuple[str, str]) -> Project:
+    return Project(
+        [
+            ModuleUnderLint(
+                path=path, tree=ast.parse(source), source=source
+            )
+            for path, source in sources
+        ]
+    )
+
+
+class TestCallResolution:
+    def test_bare_name_resolves_to_local_def(self):
+        project = project_of(
+            (
+                "a.py",
+                "def helper():\n    pass\n"
+                "def caller():\n    helper()\n",
+            )
+        )
+        module = project.modules[0]
+        call = find_call(module.tree, "helper")
+        [target] = project.resolve_call(module, call)
+        assert target.qualname == "helper"
+
+    def test_from_import_resolves_across_modules(self):
+        project = project_of(
+            ("lib.py", "def shared():\n    pass\n"),
+            (
+                "app.py",
+                "from lib import shared\n"
+                "def caller():\n    shared()\n",
+            ),
+        )
+        app = project.modules[1]
+        call = find_call(app.tree, "shared")
+        [target] = project.resolve_call(app, call)
+        assert target.module.path == "lib.py"
+
+    def test_unique_method_name_resolves(self):
+        project = project_of(
+            (
+                "a.py",
+                "class C:\n"
+                "    def unique_method(self):\n"
+                "        pass\n"
+                "def caller(c):\n    c.unique_method()\n",
+            )
+        )
+        module = project.modules[0]
+        call = find_call(module.tree, "c")
+        [target] = project.resolve_call(module, call)
+        assert target.qualname == "C.unique_method"
+
+    def test_ambiguous_method_name_resolves_to_nothing(self):
+        project = project_of(
+            (
+                "a.py",
+                "class C:\n"
+                "    def act(self):\n"
+                "        pass\n"
+                "class D:\n"
+                "    def act(self):\n"
+                "        pass\n"
+                "def caller(c):\n    c.act()\n",
+            )
+        )
+        module = project.modules[0]
+        call = find_call(module.tree, "c")
+        assert project.resolve_call(module, call) == []
+
+    def test_nested_function_is_indexed_with_qualname(self):
+        project = project_of(
+            (
+                "a.py",
+                "def outer():\n"
+                "    def attempt():\n"
+                "        pass\n"
+                "    attempt()\n",
+            )
+        )
+        module = project.modules[0]
+        call = find_call(module.tree, "attempt")
+        [target] = project.resolve_call(module, call)
+        assert target.qualname == "outer.attempt"

@@ -1,0 +1,71 @@
+"""Mutation-corpus harness for the dataflow rules.
+
+Each ``tests/analysis/fixtures/corpus/reproNNN_corpus.py`` file holds
+~10 mutants of one violation family, with the offending line marked
+``# expect: REPRONNN``.  The harness runs the rules over the file and
+asserts the reported (line, code) pairs — restricted to the codes the
+file declares — match the markers *exactly*: every mutant caught, no
+false positives.  ``clean_corpus.py`` pins the zero-findings side.
+"""
+
+import ast
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.pylint_rules import ModuleUnderLint, all_rules
+
+CORPUS_DIR = Path(__file__).parent / "fixtures" / "corpus"
+
+_MARKER = re.compile(r"#\s*expect:\s*(REPRO\d+)")
+
+DATAFLOW_CODES = {"REPRO110", "REPRO111", "REPRO112", "REPRO113"}
+
+
+def _module_for(path: Path) -> ModuleUnderLint:
+    source = path.read_text(encoding="utf-8")
+    # The corpus poses as a library module so path-scoped rules apply.
+    return ModuleUnderLint(
+        path=f"src/repro/{path.name}",
+        tree=ast.parse(source),
+        source=source,
+    )
+
+
+def _expected_markers(source: str) -> set[tuple[int, str]]:
+    expected: set[tuple[int, str]] = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _MARKER.search(line)
+        if match:
+            expected.add((lineno, match.group(1)))
+    return expected
+
+
+def _findings(module: ModuleUnderLint, codes: set[str]):
+    found: set[tuple[int, str]] = set()
+    for rule in all_rules():
+        if rule.code not in codes or not rule.applies_to(module):
+            continue
+        for diagnostic in rule.check(module):
+            assert diagnostic.line is not None
+            found.add((diagnostic.line, diagnostic.code))
+    return found
+
+
+@pytest.mark.parametrize(
+    "name", ["repro110", "repro111", "repro112", "repro113"]
+)
+def test_every_mutant_is_caught_exactly(name):
+    path = CORPUS_DIR / f"{name}_corpus.py"
+    module = _module_for(path)
+    expected = _expected_markers(module.source)
+    assert len(expected) >= 10, "corpus must hold ~10 mutants"
+    codes = {code for _, code in expected}
+    assert codes == {name.upper()}
+    assert _findings(module, codes) == expected
+
+
+def test_clean_corpus_has_zero_dataflow_findings():
+    module = _module_for(CORPUS_DIR / "clean_corpus.py")
+    assert _findings(module, DATAFLOW_CODES) == set()

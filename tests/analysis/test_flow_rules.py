@@ -1,0 +1,348 @@
+"""The dataflow-powered rules: REPRO110-113 plus the rewritten 107/109."""
+
+import ast
+
+from repro.analysis.pylint_rules import ModuleUnderLint
+from repro.analysis.pylint_rules.fault_swallow import FaultSwallowRule
+from repro.analysis.pylint_rules.gated_acquisition import (
+    GatedAcquisitionRule,
+)
+from repro.analysis.pylint_rules.hash_checkpoint import HashCheckpointRule
+from repro.analysis.pylint_rules.poisonous_flow import PoisonousFlowRule
+from repro.analysis.pylint_rules.retry_backoff import RetryBackoffRule
+from repro.analysis.pylint_rules.telemetry import TelemetryChannelRule
+
+
+def module(source: str, path: str = "src/repro/example.py"):
+    return ModuleUnderLint(
+        path=path, tree=ast.parse(source), source=source
+    )
+
+
+def findings(rule, source: str, path: str = "src/repro/example.py"):
+    mod = module(source, path)
+    if not rule.applies_to(mod):
+        return []
+    return list(rule.check(mod))
+
+
+class TestGatedAcquisition:
+    def test_ungated_acquisition_is_flagged_with_path(self):
+        source = (
+            "def seize(device):\n"
+            "    return image_device(device)\n"
+        )
+        [found] = findings(GatedAcquisitionRule(), source)
+        assert found.code == "REPRO110"
+        assert "`seize`" in found.message
+        assert "image_device" in found.message
+        assert "entry" in found.message  # the rendered path
+
+    def test_dominating_gate_clears_the_call(self):
+        source = (
+            "def seize(process, requirement, device):\n"
+            "    if not process.satisfies(requirement):\n"
+            "        raise InsufficientProcess(requirement)\n"
+            "    return image_device(device)\n"
+        )
+        assert findings(GatedAcquisitionRule(), source) == []
+
+    def test_one_armed_gate_leaves_an_ungated_path(self):
+        source = (
+            "def seize(urgent, process, requirement, device):\n"
+            "    if urgent:\n"
+            "        process.satisfies(requirement)\n"
+            "    return image_device(device)\n"
+        )
+        [found] = findings(GatedAcquisitionRule(), source)
+        # The rendered path routes around the gated `then` arm.
+        assert "then" not in found.message.split("[")[-1]
+
+    def test_exception_predicate_branch_is_a_gate(self):
+        source = (
+            "def peek(provider, stream):\n"
+            "    if provider_own_monitoring(provider):\n"
+            "        return attach_tap(stream)\n"
+            "    return None\n"
+        )
+        assert findings(GatedAcquisitionRule(), source) == []
+
+    def test_gate_after_the_call_does_not_count(self):
+        source = (
+            "def seize(process, requirement, device):\n"
+            "    image = image_device(device)\n"
+            "    process.satisfies(requirement)\n"
+            "    return image\n"
+        )
+        assert len(findings(GatedAcquisitionRule(), source)) == 1
+
+    def test_exception_path_into_handler_bypasses_gate(self):
+        source = (
+            "def seize(engine, action, device):\n"
+            "    try:\n"
+            "        prepare(device)\n"
+            "        engine.evaluate(action)\n"
+            "    except RuntimeError:\n"
+            "        pass\n"
+            "    return image_device(device)\n"
+        )
+        # prepare() can raise before the gate runs, and the handler
+        # falls through to the acquisition.
+        [found] = findings(GatedAcquisitionRule(), source)
+        assert "except" in found.message
+
+
+class TestPoisonousFlow:
+    def test_tainted_value_reaching_application_sink(self):
+        source = (
+            "def chain(device, court):\n"
+            "    image = image_device(device)\n"
+            "    return court.apply_for(image)\n"
+        )
+        [found] = findings(PoisonousFlowRule(), source)
+        assert found.code == "REPRO111"
+        assert found.authorities == ("wong_sun", "nix_v_williams")
+
+    def test_gated_source_is_not_poison(self):
+        source = (
+            "def chain(process, requirement, device, court):\n"
+            "    process.satisfies(requirement)\n"
+            "    image = image_device(device)\n"
+            "    return court.apply_for(image)\n"
+        )
+        assert findings(PoisonousFlowRule(), source) == []
+
+    def test_taint_survives_attribute_access_and_operators(self):
+        source = (
+            "def chain(relay, court):\n"
+            "    hits = relay.query('le', 'cp')\n"
+            "    peer = hits[0].peer + ':443'\n"
+            "    return court.apply_for(peer)\n"
+        )
+        assert len(findings(PoisonousFlowRule(), source)) == 1
+
+    def test_derived_from_keyword_is_exempt(self):
+        source = (
+            "def record(device, ledger):\n"
+            "    image = image_device(device)\n"
+            "    ledger.add_fact('imaged', derived_from=image)\n"
+        )
+        assert findings(PoisonousFlowRule(), source) == []
+
+    def test_interprocedural_return_taint(self):
+        source = (
+            "def fetch(device):\n"
+            "    return image_device(device)\n"
+            "def chain(device, court):\n"
+            "    image = fetch(device)\n"
+            "    return court.apply_for(image)\n"
+        )
+        [found] = findings(PoisonousFlowRule(), source)
+        assert found.line == 5
+        assert "apply_for" in found.message
+
+    def test_interprocedural_param_to_sink(self):
+        source = (
+            "def file_application(court, fact):\n"
+            "    return court.apply_for(fact)\n"
+            "def chain(device, court):\n"
+            "    image = image_device(device)\n"
+            "    return file_application(court, image)\n"
+        )
+        assert len(findings(PoisonousFlowRule(), source)) >= 1
+
+    def test_suppressed_source_is_sanctioned(self):
+        source = (
+            "def chain(device, court):\n"
+            "    # repro-lint: disable=REPRO110 -- seized under warrant\n"
+            "    image = image_device(device)\n"
+            "    return court.apply_for(image)\n"
+        )
+        assert findings(PoisonousFlowRule(), source) == []
+
+    def test_untainted_argument_to_sink_is_fine(self):
+        source = (
+            "def chain(device, court, fact):\n"
+            "    image = image_device(device)\n"
+            "    del image\n"
+            "    return court.apply_for(fact)\n"
+        )
+        assert findings(PoisonousFlowRule(), source) == []
+
+
+class TestHashCheckpoint:
+    def test_image_used_before_hash(self):
+        source = (
+            "def examine(device):\n"
+            "    image = image_device(device)\n"
+            "    return carve(image)\n"
+        )
+        [found] = findings(HashCheckpointRule(), source)
+        assert found.code == "REPRO112"
+        assert "image" in found.message
+
+    def test_hash_before_use_is_clean(self):
+        source = (
+            "def examine(device):\n"
+            "    image = image_device(device)\n"
+            "    record_hash(sha256(image))\n"
+            "    return carve(image)\n"
+        )
+        assert findings(HashCheckpointRule(), source) == []
+
+    def test_hash_on_one_branch_only_still_flags(self):
+        source = (
+            "def examine(device, quick):\n"
+            "    image = image_device(device)\n"
+            "    if not quick:\n"
+            "        sha256(image)\n"
+            "    return carve(image)\n"
+        )
+        assert len(findings(HashCheckpointRule(), source)) == 1
+
+    def test_reassignment_clears_the_obligation(self):
+        source = (
+            "def examine(device):\n"
+            "    image = image_device(device)\n"
+            "    image = load_reference()\n"
+            "    return carve(image)\n"
+        )
+        assert findings(HashCheckpointRule(), source) == []
+
+    def test_one_diagnostic_per_name(self):
+        source = (
+            "def examine(device):\n"
+            "    image = image_device(device)\n"
+            "    carve(image)\n"
+            "    carve(image)\n"
+        )
+        assert len(findings(HashCheckpointRule(), source)) == 1
+
+
+class TestRetryBackoff:
+    def test_retry_loop_without_backoff(self):
+        source = (
+            "def persist(court, kind):\n"
+            "    while True:\n"
+            "        process = court.apply_for(kind)\n"
+            "        if process:\n"
+            "            return process\n"
+        )
+        [found] = findings(RetryBackoffRule(), source)
+        assert found.code == "REPRO113"
+
+    def test_retry_loop_with_sim_clock_backoff(self):
+        source = (
+            "def persist(court, kind, clock):\n"
+            "    while True:\n"
+            "        process = court.apply_for(kind)\n"
+            "        if process:\n"
+            "            return process\n"
+            "        clock.advance(60)\n"
+        )
+        assert findings(RetryBackoffRule(), source) == []
+
+    def test_retry_outside_loop_is_fine(self):
+        source = (
+            "def once(court, kind):\n"
+            "    return court.apply_for(kind)\n"
+        )
+        assert findings(RetryBackoffRule(), source) == []
+
+    def test_retry_through_helper_called_in_loop(self):
+        source = (
+            "def attempt(court, kind):\n"
+            "    return court.apply_for(kind)\n"
+            "def persist(court, kind):\n"
+            "    for _ in range(3):\n"
+            "        process = attempt(court, kind)\n"
+            "        if process:\n"
+            "            return process\n"
+        )
+        assert len(findings(RetryBackoffRule(), source)) == 1
+
+
+class TestFaultSwallowStrictness:
+    PATH = "src/repro/techniques/example.py"
+
+    def test_conditional_recording_is_flagged(self):
+        source = (
+            "def run_probe(overlay, noisy):\n"
+            "    try:\n"
+            "        step(overlay)\n"
+            "    except ReadError:\n"
+            "        if noisy:\n"
+            "            result.record_miss()\n"
+        )
+        found = findings(FaultSwallowRule(), source, path=self.PATH)
+        assert len(found) == 1
+        assert "every handler path" in found[0].message
+
+    def test_unconditional_recording_is_clean(self):
+        source = (
+            "def run_probe(overlay):\n"
+            "    try:\n"
+            "        step(overlay)\n"
+            "    except ReadError:\n"
+            "        result.record_miss()\n"
+        )
+        assert findings(FaultSwallowRule(), source, path=self.PATH) == []
+
+    def test_branch_recording_on_both_arms_is_clean(self):
+        source = (
+            "def run_probe(overlay, noisy):\n"
+            "    try:\n"
+            "        step(overlay)\n"
+            "    except ReadError:\n"
+            "        if noisy:\n"
+            "            result.record_miss()\n"
+            "        else:\n"
+            "            raise\n"
+        )
+        assert findings(FaultSwallowRule(), source, path=self.PATH) == []
+
+
+class TestTelemetryPrecision:
+    def test_import_alias_of_time_is_flagged(self):
+        source = (
+            "import time as clock\n"
+            "def f():\n"
+            "    return clock.perf_counter()\n"
+        )
+        [found] = findings(TelemetryChannelRule(), source)
+        assert found.code == "REPRO109"
+
+    def test_from_import_bare_call_is_flagged(self):
+        source = (
+            "from time import perf_counter\n"
+            "def f():\n"
+            "    return perf_counter()\n"
+        )
+        assert len(findings(TelemetryChannelRule(), source)) == 1
+
+    def test_shadowed_print_is_not_flagged(self):
+        source = (
+            "def f(collect):\n"
+            "    print = collect\n"
+            "    print('hello')\n"
+        )
+        assert findings(TelemetryChannelRule(), source) == []
+
+    def test_builtin_print_is_flagged(self):
+        source = "def f():\n    print('hello')\n"
+        assert len(findings(TelemetryChannelRule(), source)) == 1
+
+    def test_non_time_module_attribute_is_not_flagged(self):
+        source = (
+            "import arrow\n"
+            "def f():\n"
+            "    return arrow.time()\n"
+        )
+        assert findings(TelemetryChannelRule(), source) == []
+
+    def test_parameter_named_time_is_not_flagged(self):
+        source = (
+            "def f(time):\n"
+            "    return time.monotonic()\n"
+        )
+        assert findings(TelemetryChannelRule(), source) == []

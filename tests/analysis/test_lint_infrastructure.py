@@ -1,0 +1,171 @@
+"""Suppressions, baselines, SARIF output, and run determinism."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    filter_baselined,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.pylint_rules import all_rules
+from repro.analysis.runner import run_lint
+from repro.analysis.sarif import fingerprint, to_sarif, write_sarif
+from repro.analysis.suppress import is_suppressed, parse_suppressions
+
+
+def diag(code="REPRO110", path="src/repro/a.py", line=3, col=5,
+         message="ungated"):
+    return Diagnostic(
+        severity=Severity.ERROR,
+        code=code,
+        message=message,
+        path=path,
+        line=line,
+        col=col,
+    )
+
+
+class TestSuppressionParser:
+    def test_trailing_comment_targets_its_own_line(self):
+        source = (
+            "x = 1\n"
+            "image = image_device(d)  "
+            "# repro-lint: disable=REPRO110 -- warrant on file\n"
+        )
+        suppressions = parse_suppressions(source)
+        assert 2 in suppressions
+        assert suppressions[2].codes == frozenset({"REPRO110"})
+        assert suppressions[2].justification == "warrant on file"
+
+    def test_own_line_comment_targets_next_code_line(self):
+        source = (
+            "# repro-lint: disable=REPRO110 -- warrant on file\n"
+            "\n"
+            "# unrelated comment\n"
+            "image = image_device(d)\n"
+        )
+        suppressions = parse_suppressions(source)
+        assert list(suppressions) == [4]
+
+    def test_justification_is_mandatory(self):
+        source = "image = image_device(d)  # repro-lint: disable=REPRO110\n"
+        assert parse_suppressions(source) == {}
+
+    def test_multiple_codes_on_one_directive(self):
+        source = (
+            "image = image_device(d)  "
+            "# repro-lint: disable=REPRO110,REPRO112 -- sanctioned\n"
+        )
+        [suppression] = parse_suppressions(source).values()
+        assert suppression.codes == frozenset({"REPRO110", "REPRO112"})
+
+    def test_is_suppressed_matches_code_and_line(self):
+        source = (
+            "image = image_device(d)  "
+            "# repro-lint: disable=REPRO110 -- sanctioned\n"
+        )
+        suppressions = parse_suppressions(source)
+        assert is_suppressed(suppressions, "REPRO110", 1)
+        assert not is_suppressed(suppressions, "REPRO111", 1)
+        assert not is_suppressed(suppressions, "REPRO110", 2)
+
+
+class TestBaseline:
+    def test_round_trip_filters_known_findings(self, tmp_path):
+        known = diag(message="old finding")
+        fresh = diag(message="new finding", line=9)
+        baseline = tmp_path / "baseline.json"
+        adopted = write_baseline(baseline, [known])
+        assert adopted == 1
+        fingerprints = load_baseline(baseline)
+        kept, dropped = filter_baselined([known, fresh], fingerprints)
+        assert kept == [fresh]
+        assert dropped == 1
+
+    def test_bad_format_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"format": "not-a-baseline"}))
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+    def test_baseline_file_is_deterministic(self, tmp_path):
+        diagnostics = [diag(line=9), diag(line=3)]
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        write_baseline(first, diagnostics)
+        write_baseline(second, list(reversed(diagnostics)))
+        assert first.read_text() == second.read_text()
+
+
+class TestSarif:
+    def test_log_shape(self):
+        log = to_sarif([diag()], all_rules())
+        assert log["version"] == "2.1.0"
+        assert "sarif-schema" in str(log["$schema"])
+        [run] = log["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        rule_ids = {rule["id"] for rule in driver["rules"]}
+        assert {"REPRO110", "REPRO111", "REPRO112", "REPRO113"} <= rule_ids
+        [result] = run["results"]
+        assert result["ruleId"] == "REPRO110"
+        assert result["level"] == "error"
+        assert result["message"]["text"].startswith("ungated")
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/repro/a.py"
+        assert location["region"] == {"startLine": 3, "startColumn": 5}
+        assert "reproLint/v1" in result["partialFingerprints"]
+
+    def test_fingerprint_is_stable_and_content_keyed(self):
+        assert fingerprint(diag()) == fingerprint(diag())
+        assert len(fingerprint(diag())) == 32
+        # Line numbers are deliberately excluded: a baseline entry must
+        # survive unrelated edits shifting the finding up or down.
+        assert fingerprint(diag()) == fingerprint(diag(line=9))
+        assert fingerprint(diag()) != fingerprint(
+            diag(message="different")
+        )
+        assert fingerprint(diag()) != fingerprint(
+            diag(path="src/repro/b.py")
+        )
+        assert fingerprint(diag()) != fingerprint(diag(code="REPRO111"))
+
+    def test_write_is_byte_stable(self, tmp_path):
+        first = tmp_path / "a.sarif"
+        second = tmp_path / "b.sarif"
+        write_sarif(first, [diag()], all_rules())
+        write_sarif(second, [diag()], all_rules())
+        assert first.read_bytes() == second.read_bytes()
+        json.loads(first.read_text())  # well-formed
+
+
+class TestRunDeterminism:
+    def test_two_runs_produce_identical_ordered_output(self, tmp_path):
+        first = tmp_path / "src" / "repro" / "alpha.py"
+        second = tmp_path / "src" / "repro" / "beta.py"
+        first.parent.mkdir(parents=True)
+        first.write_text(
+            "def seize(d):\n    return image_device(d)\n"
+        )
+        second.write_text(
+            "def f():\n    print('x')\n"
+            "def g():\n    print('y')\n"
+        )
+        runs = [run_lint(paths=[tmp_path]) for _ in range(2)]
+        assert runs[0].diagnostics == runs[1].diagnostics
+        keys = [
+            (d.path, d.line, d.col, d.code)
+            for d in runs[0].diagnostics
+        ]
+        assert keys == sorted(keys)
+        assert len({d.code for d in runs[0].diagnostics}) >= 2
+
+    def test_duplicate_diagnostics_are_deduped(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "alpha.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("def seize(d):\n    return image_device(d)\n")
+        run = run_lint(paths=[tmp_path])
+        assert len(run.diagnostics) == len(set(run.diagnostics))
