@@ -13,6 +13,8 @@ Usage::
     python -m repro bench --quick         # engine benchmarks -> BENCH_engine.json
     python -m repro metrics               # Prometheus text from a traced replay
     python -m repro trace --audit         # spans + authorizing instruments
+    python -m repro workflow run photo-recovery --seed 7
+    python -m repro workflow verify-resume   # crash/resume determinism gate
 """
 
 from __future__ import annotations
@@ -435,6 +437,210 @@ def _write_bench_trace(args: argparse.Namespace) -> None:
     print(f"wrote {len(records)} span(s) to {args.trace_out}")
 
 
+def _workflow_fault_plan(args: argparse.Namespace):
+    from repro.workflow import WorkflowFaultPlan, parse_fault_plan
+
+    if not args.fault_plan:
+        return WorkflowFaultPlan()
+    return parse_fault_plan(args.fault_plan)
+
+
+def _workflow_pack(name: str):
+    from repro.workflow.packs import get_pack, pack_names
+
+    try:
+        return get_pack(name)
+    except KeyError:
+        print(f"unknown pack {name!r}; available: {', '.join(pack_names())}")
+        return None
+
+
+def _print_workflow_result(result, verbose: bool) -> int:
+    if verbose:
+        print(result.report_text, end="")
+    print(
+        f"workflow {result.workflow}: status={result.status} "
+        f"report={result.report_sha256[:12]} "
+        f"artifacts={len(result.artifacts)} "
+        f"custody={len(result.custody.entries)}"
+        + (" RESUMED" if result.resumed else "")
+        + (" SUPPRESSED" if result.suppressed else "")
+    )
+    if result.suppressed:
+        print(f"suppression reason: {result.suppression_reason}")
+    return 1 if result.status != "completed" else 0
+
+
+def _cmd_workflow_run(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.workflow import (
+        FaultPlanSyntaxError,
+        WorkflowCrash,
+        WorkflowEngine,
+        WorkflowLegalityError,
+    )
+
+    try:
+        plan = _workflow_fault_plan(args)
+    except FaultPlanSyntaxError as error:
+        print(error)
+        return 2
+    pack = _workflow_pack(args.pack)
+    if pack is None:
+        return 2
+
+    if args.items > 1:
+        from repro.workflow.parallel import run_batch
+
+        batch = run_batch(
+            args.pack,
+            n_items=args.items,
+            seed=args.seed,
+            journal_dir=Path(args.journal_dir),
+            max_workers=args.workers,
+            fault_plan=plan,
+        )
+        print(batch.render(), end="")
+        bad = [s for s in batch.summaries if s.status != "completed"]
+        return 1 if bad else 0
+
+    injector = plan.build_injector()
+    subject = pack.build_subject(args.seed, injector)
+    engine = WorkflowEngine(pack.build_spec())
+    journal_path = Path(args.journal) if args.journal else None
+    if journal_path is not None:
+        journal_path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        result = engine.run(
+            subject,
+            seed=args.seed,
+            journal_path=journal_path,
+            injector=injector,
+            crash_after=plan.crash_after_record,
+        )
+    except WorkflowLegalityError as error:
+        print("workflow rejected by the static legality gate:")
+        print(error.report.render())
+        return 2
+    except WorkflowCrash as crash:
+        print(f"workflow crashed: {crash}")
+        if journal_path is not None:
+            print(
+                f"journal survives at {journal_path}; resume with: "
+                f"repro workflow resume {args.pack} --seed {args.seed} "
+                f"--journal {journal_path}"
+                + (f" --fault-plan '{args.fault_plan}'" if args.fault_plan else "")
+            )
+        return 3
+    return _print_workflow_result(result, not args.quiet)
+
+
+def _cmd_workflow_resume(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.workflow import (
+        FaultPlanSyntaxError,
+        JournalError,
+        WorkflowCrash,
+        WorkflowEngine,
+    )
+
+    try:
+        plan = _workflow_fault_plan(args)
+    except FaultPlanSyntaxError as error:
+        print(error)
+        return 2
+    pack = _workflow_pack(args.pack)
+    if pack is None:
+        return 2
+    injector = plan.build_injector()
+    subject = pack.build_subject(args.seed, injector)
+    engine = WorkflowEngine(pack.build_spec())
+    try:
+        result = engine.resume(
+            subject,
+            seed=args.seed,
+            journal_path=Path(args.journal),
+            injector=injector,
+        )
+    except (JournalError, FileNotFoundError) as error:
+        print(f"cannot resume: {error}")
+        return 2
+    except WorkflowCrash as crash:
+        print(f"workflow crashed again during resume: {crash}")
+        return 3
+    return _print_workflow_result(result, not args.quiet)
+
+
+def _cmd_workflow_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import has_errors, render_report, run_lint
+    from repro.workflow.packs import get_pack, pack_names
+
+    names = [args.pack] if args.pack else list(pack_names())
+    paths = []
+    for name in names:
+        try:
+            paths.extend(get_pack(name).source_paths())
+        except KeyError:
+            print(
+                f"unknown pack {name!r}; available: {', '.join(pack_names())}"
+            )
+            return 2
+    paths.extend(Path(extra) for extra in args.paths)
+    run = run_lint(paths)
+    print(render_report(run.diagnostics))
+    print(f"({len(paths)} step-body module(s) checked)")
+    return 1 if has_errors(run.diagnostics) else 0
+
+
+def _cmd_workflow_verify(args: argparse.Namespace) -> int:
+    import tempfile
+    from pathlib import Path
+
+    from repro.workflow import FaultPlanSyntaxError
+    from repro.workflow.packs import pack_names
+    from repro.workflow.verify import chaos_sample, resume_sweep
+
+    try:
+        plan = _workflow_fault_plan(args)
+    except FaultPlanSyntaxError as error:
+        print(error)
+        return 2
+    names = [args.pack] if args.pack else list(pack_names())
+    reports = []
+    with tempfile.TemporaryDirectory(prefix="wf-verify-") as tmp:
+        base = Path(args.workdir) if args.workdir else Path(tmp)
+        for name in names:
+            workdir = base / name
+            workdir.mkdir(parents=True, exist_ok=True)
+            reports.append(
+                resume_sweep(
+                    name,
+                    seed=args.seed,
+                    workdir=workdir,
+                    fault_plan=plan if plan.has_injector else None,
+                )
+            )
+            if args.chaos:
+                chaos_dir = base / f"{name}-chaos"
+                chaos_dir.mkdir(parents=True, exist_ok=True)
+                reports.append(
+                    chaos_sample(name, chaos_dir, n_plans=args.chaos)
+                )
+    for report in reports:
+        print(report.render(), end="")
+    ok = all(report.ok for report in reports)
+    total = sum(len(report.boundaries) for report in reports)
+    print(
+        f"verify-resume: {total} boundary check(s) across "
+        f"{len(names)} pack(s): {'OK' if ok else 'DIVERGED'}"
+    )
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -699,6 +905,112 @@ def build_parser() -> argparse.ArgumentParser:
         "-v", "--verbose", action="store_true", help="include holdings"
     )
     authorities.set_defaults(func=_cmd_authorities)
+
+    workflow = subparsers.add_parser(
+        "workflow",
+        help="crash-resumable evidence workflows with journaled checkpoints",
+    )
+    workflow_sub = workflow.add_subparsers(
+        dest="workflow_command", required=True
+    )
+
+    def _fault_plan_flag(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--fault-plan",
+            default="",
+            help=(
+                "fault plan, e.g. 'crash-after-record=3,storage-read=0.05,"
+                "storage-bitrot=0.01,fault-seed=11'"
+            ),
+        )
+
+    wf_run = workflow_sub.add_parser(
+        "run", help="run a scenario pack, journaling every step boundary"
+    )
+    wf_run.add_argument("pack", help="pack name (photo-recovery, ...)")
+    wf_run.add_argument("--seed", type=int, default=7, help="evidence seed")
+    wf_run.add_argument(
+        "--journal", default=None, help="journal file (JSONL, append-only)"
+    )
+    _fault_plan_flag(wf_run)
+    wf_run.add_argument(
+        "--items",
+        type=int,
+        default=1,
+        help="run this many independent evidence items (seed, seed+1, ...)",
+    )
+    wf_run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size for --items > 1 (default: one per CPU)",
+    )
+    wf_run.add_argument(
+        "--journal-dir",
+        default=".workflow-journals",
+        help="per-item journal directory for --items > 1",
+    )
+    wf_run.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress the run report"
+    )
+    wf_run.set_defaults(func=_cmd_workflow_run)
+
+    wf_resume = workflow_sub.add_parser(
+        "resume", help="resume an interrupted run from its journal"
+    )
+    wf_resume.add_argument("pack", help="pack name the journal came from")
+    wf_resume.add_argument(
+        "--seed", type=int, default=7, help="the original run's seed"
+    )
+    wf_resume.add_argument(
+        "--journal", required=True, help="the interrupted run's journal"
+    )
+    _fault_plan_flag(wf_resume)
+    wf_resume.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress the run report"
+    )
+    wf_resume.set_defaults(func=_cmd_workflow_resume)
+
+    wf_lint = workflow_sub.add_parser(
+        "lint", help="AST-lint pack step bodies (REPRO110/REPRO113, ...)"
+    )
+    wf_lint.add_argument(
+        "--pack", default=None, help="limit to one pack (default: all)"
+    )
+    wf_lint.add_argument(
+        "paths",
+        nargs="*",
+        help="extra step-body modules to lint alongside the packs",
+    )
+    wf_lint.set_defaults(func=_cmd_workflow_lint)
+
+    wf_verify = workflow_sub.add_parser(
+        "verify-resume",
+        help=(
+            "CI gate: crash at every journal boundary, resume, and fail "
+            "on any byte divergence"
+        ),
+    )
+    wf_verify.add_argument(
+        "--pack", default=None, help="limit to one pack (default: all)"
+    )
+    wf_verify.add_argument(
+        "--seed", type=int, default=7, help="evidence seed for the sweep"
+    )
+    _fault_plan_flag(wf_verify)
+    wf_verify.add_argument(
+        "--chaos",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also kill-and-resume under N sampled storage fault plans",
+    )
+    wf_verify.add_argument(
+        "--workdir",
+        default=None,
+        help="keep journals here instead of a temp directory",
+    )
+    wf_verify.set_defaults(func=_cmd_workflow_verify)
 
     return parser
 

@@ -52,6 +52,34 @@ class ChainOfCustody:
             )
         ]
 
+    @classmethod
+    def restore(
+        cls,
+        item: EvidenceItem,
+        entries: "tuple[CustodyEntry, ...] | list[CustodyEntry]",
+    ) -> "ChainOfCustody":
+        """Rebuild a chain from journaled entries (workflow resume).
+
+        The restored chain continues exactly where the recorded one
+        stopped: the same entries, the same current custodian, and the
+        same last timestamp for :meth:`_check_time` ordering.
+
+        Raises:
+            BrokenChainError: If ``entries`` is empty or out of order.
+        """
+        if not entries:
+            raise BrokenChainError("cannot restore an empty custody log")
+        for earlier, later in zip(entries, entries[1:]):
+            if later.timestamp < earlier.timestamp:
+                raise BrokenChainError(
+                    f"restored entry at t={later.timestamp} predates "
+                    f"t={earlier.timestamp}"
+                )
+        chain = cls.__new__(cls)
+        chain.item = item
+        chain._entries = list(entries)
+        return chain
+
     @property
     def entries(self) -> tuple[CustodyEntry, ...]:
         """The custody log, oldest first."""

@@ -31,12 +31,20 @@ def _derive_seed(seed: int, kind: FaultKind) -> int:
 
 @dataclasses.dataclass(frozen=True)
 class InjectionRecord:
-    """One fault that actually fired."""
+    """One fault that actually fired.
+
+    ``seq`` is the per-kind consultation ordinal at which the fault
+    fired — the bookkeeping :meth:`FaultInjector.replaying` needs to
+    re-apply a log verbatim.  It is excluded from equality, ``repr``,
+    :meth:`render`, and :meth:`to_dict`, so logs compare and serialize
+    exactly as they did before it existed.
+    """
 
     time: float
     kind: FaultKind
     target: str
     detail: str
+    seq: int = dataclasses.field(default=-1, compare=False, repr=False)
 
     def render(self) -> str:
         """A stable one-line rendering (the unit of log comparison)."""
@@ -66,6 +74,10 @@ class FaultInjector:
         }
         self._log: list[InjectionRecord] = []
         self._consumed_schedules: set[tuple[int, float]] = set()
+        self._draws: dict[FaultKind, int] = dict.fromkeys(FaultKind, 0)
+        self._consultations: dict[FaultKind, int] = dict.fromkeys(
+            FaultKind, 0
+        )
 
     # -- decisions ---------------------------------------------------------------
 
@@ -79,6 +91,8 @@ class FaultInjector:
         decision per matching spec per consultation.  Fired faults are
         appended to the injection log.
         """
+        seq = self._consultations[kind]
+        self._consultations[kind] = seq + 1
         fired_details: list[str] = []
         for index, spec in enumerate(self.plan.specs):
             if spec.kind is not kind or not spec.matches_target(target):
@@ -88,14 +102,13 @@ class FaultInjector:
                 if at <= time and key not in self._consumed_schedules:
                     self._consumed_schedules.add(key)
                     fired_details.append(f"scheduled@{at:.6f}")
-            if (
-                spec.probability > 0
-                and self._rngs[kind].random() < spec.probability
-            ):
-                fired_details.append(f"p={spec.probability:.6f}")
+            if spec.probability > 0:
+                self._draws[kind] += 1
+                if self._rngs[kind].random() < spec.probability:
+                    fired_details.append(f"p={spec.probability:.6f}")
         if not fired_details:
             return False
-        self.record(kind, target, ";".join(fired_details), time)
+        self.record(kind, target, ";".join(fired_details), time, seq=seq)
         return True
 
     def magnitude(self, kind: FaultKind, target: str = "*") -> float:
@@ -117,11 +130,12 @@ class FaultInjector:
         target: str,
         detail: str,
         time: float = 0.0,
+        seq: int = -1,
     ) -> InjectionRecord:
         """Append an injection record (also used by consumers to log
         fault *consequences* like an interrupted acquisition)."""
         record = InjectionRecord(
-            time=time, kind=kind, target=target, detail=detail
+            time=time, kind=kind, target=target, detail=detail, seq=seq
         )
         self._log.append(record)
         if obs.OBS.enabled:
@@ -170,3 +184,144 @@ class FaultInjector:
     def log_digest(self) -> str:
         """SHA-256 of the rendered log, for cheap equality assertions."""
         return hashlib.sha256(self.render_log().encode()).hexdigest()
+
+    # -- resume support ----------------------------------------------------------
+
+    def draw_counts(self) -> dict[str, int]:
+        """Probabilistic RNG draws so far, keyed by fault-kind value.
+
+        Zero-draw kinds are omitted, so the mapping serializes compactly
+        and comparisons ignore kinds a run never consulted.
+        """
+        return {
+            kind.value: count
+            for kind, count in self._draws.items()
+            if count
+        }
+
+    def consultation_counts(self) -> dict[str, int]:
+        """:meth:`fires` consultations so far, keyed by fault-kind value."""
+        return {
+            kind.value: count
+            for kind, count in self._consultations.items()
+            if count
+        }
+
+    def fast_forward(
+        self,
+        draws: dict[str, int],
+        consultations: dict[str, int] | None = None,
+    ) -> None:
+        """Advance per-kind RNG streams to recorded positions.
+
+        A resumed run constructs a *fresh* injector from the same plan
+        and fast-forwards it to the draw counts journaled at the last
+        completed step boundary; subsequent decisions then fall exactly
+        where the uninterrupted run's would have.
+
+        Raises:
+            ValueError: If a recorded count is behind this injector's
+                current position (streams cannot rewind).
+        """
+        for key, count in draws.items():
+            kind = FaultKind(key)
+            behind = count - self._draws[kind]
+            if behind < 0:
+                raise ValueError(
+                    f"cannot rewind {key} draws from {self._draws[kind]} "
+                    f"to {count}"
+                )
+            rng = self._rngs[kind]
+            for _ in range(behind):
+                rng.random()
+            self._draws[kind] = count
+        for key, count in (consultations or {}).items():
+            kind = FaultKind(key)
+            if count < self._consultations[kind]:
+                raise ValueError(
+                    f"cannot rewind {key} consultations from "
+                    f"{self._consultations[kind]} to {count}"
+                )
+            self._consultations[kind] = count
+
+    def adopt_log(
+        self, records: "list[InjectionRecord | dict[str, object]]"
+    ) -> None:
+        """Append already-fired records (from a journal) to this log.
+
+        Adopted scheduled firings re-mark their one-shot schedule slots
+        as consumed, so a resumed run does not fire them again.  No obs
+        events or counters are emitted — these faults fired in the run
+        being resumed, not in this one.
+        """
+        for entry in records:
+            if isinstance(entry, InjectionRecord):
+                record = entry
+            else:
+                record = InjectionRecord(
+                    time=float(entry["time"]),  # type: ignore[arg-type]
+                    kind=FaultKind(entry["kind"]),
+                    target=str(entry["target"]),
+                    detail=str(entry["detail"]),
+                )
+            self._log.append(record)
+            self._mark_consumed(record)
+
+    def _mark_consumed(self, record: InjectionRecord) -> None:
+        for token in record.detail.split(";"):
+            if not token.startswith("scheduled@"):
+                continue
+            at = float(token[len("scheduled@") :])
+            for index, spec in enumerate(self.plan.specs):
+                if spec.kind is not record.kind:
+                    continue
+                if not spec.matches_target(record.target):
+                    continue
+                for scheduled in spec.at_times:
+                    if abs(scheduled - at) < 1e-9:
+                        self._consumed_schedules.add((index, scheduled))
+
+    @classmethod
+    def replaying(
+        cls, plan: FaultPlan, log: "tuple[InjectionRecord, ...]"
+    ) -> "ReplayFaultInjector":
+        """An injector that re-applies ``log`` verbatim instead of drawing."""
+        return ReplayFaultInjector(plan, log)
+
+
+class ReplayFaultInjector(FaultInjector):
+    """Re-applies a recorded injection log instead of drawing decisions.
+
+    Each :meth:`fires` call is matched against the recorded log by
+    ``(kind, consultation ordinal)``: the fault points that fired in the
+    original run fire again — with the recorded target, time, and detail
+    — and every other consultation stays quiet.  Running the same code
+    under a replay injector therefore reproduces the original log
+    byte-for-byte, without consuming any randomness.
+    """
+
+    def __init__(
+        self, plan: FaultPlan, log: "tuple[InjectionRecord, ...]"
+    ) -> None:
+        super().__init__(plan)
+        self._recorded: dict[FaultKind, dict[int, InjectionRecord]] = {}
+        for record in log:
+            if record.seq < 0:
+                raise ValueError(
+                    "replay requires records with consultation ordinals; "
+                    "pass the .log of the original injector"
+                )
+            self._recorded.setdefault(record.kind, {})[record.seq] = record
+
+    def fires(
+        self, kind: FaultKind, target: str = "*", time: float = 0.0
+    ) -> bool:
+        seq = self._consultations[kind]
+        self._consultations[kind] = seq + 1
+        recorded = self._recorded.get(kind, {}).get(seq)
+        if recorded is None:
+            return False
+        self.record(
+            kind, recorded.target, recorded.detail, recorded.time, seq=seq
+        )
+        return True

@@ -184,3 +184,119 @@ class TestJsonlExport:
         assert len(events) == 1
         assert events[0].attrs["kind"] == FaultKind.TAP_DROPOUT.value
         assert events[0].sim_time == 5.0
+
+
+class TestStreamBookmarks:
+    def test_draw_and_consultation_counts_track_usage(self):
+        inj = injector(
+            FaultSpec(kind=FaultKind.LINK_DROP, probability=0.5), seed=3
+        )
+        for _ in range(5):
+            inj.fires(FaultKind.LINK_DROP)
+        inj.fires(FaultKind.STORAGE_READ_ERROR)  # no spec: consult, no draw
+        assert inj.draw_counts() == {"link-drop": 5}
+        assert inj.consultation_counts() == {
+            "link-drop": 5,
+            "storage-read-error": 1,
+        }
+
+    def test_fast_forward_resumes_the_decision_stream(self):
+        spec = FaultSpec(kind=FaultKind.LINK_DROP, probability=0.4)
+        original = injector(spec, seed=9)
+        decisions = [original.fires(FaultKind.LINK_DROP) for _ in range(40)]
+
+        interrupted = injector(spec, seed=9)
+        for _ in range(25):
+            interrupted.fires(FaultKind.LINK_DROP)
+        resumed = injector(spec, seed=9)
+        resumed.fast_forward(
+            interrupted.draw_counts(), interrupted.consultation_counts()
+        )
+        tail = [resumed.fires(FaultKind.LINK_DROP) for _ in range(15)]
+        assert tail == decisions[25:]
+
+    def test_fast_forward_refuses_to_rewind(self):
+        import pytest
+
+        spec = FaultSpec(kind=FaultKind.LINK_DROP, probability=0.4)
+        inj = injector(spec, seed=9)
+        for _ in range(10):
+            inj.fires(FaultKind.LINK_DROP)
+        with pytest.raises(ValueError):
+            inj.fast_forward({"link-drop": 3})
+
+    def test_adopt_log_carries_prior_firings(self):
+        spec = FaultSpec(kind=FaultKind.LINK_DROP, probability=1.0)
+        original = injector(spec, seed=9)
+        original.fires(FaultKind.LINK_DROP, time=1.0)
+        original.fires(FaultKind.LINK_DROP, time=2.0)
+
+        fresh = injector(spec, seed=9)
+        fresh.adopt_log([record.to_dict() for record in original.log])
+        assert [r.render() for r in fresh.log] == [
+            r.render() for r in original.log
+        ]
+
+    def test_adopted_scheduled_firings_do_not_refire(self):
+        spec = FaultSpec(kind=FaultKind.TAP_DROPOUT, at_times=(5.0,))
+        original = injector(spec, seed=9)
+        assert original.fires(FaultKind.TAP_DROPOUT, time=6.0)
+
+        fresh = injector(spec, seed=9)
+        fresh.adopt_log(list(original.log))
+        assert not fresh.fires(FaultKind.TAP_DROPOUT, time=7.0)
+
+    def test_seq_is_invisible_in_serialized_form(self):
+        spec = FaultSpec(kind=FaultKind.LINK_DROP, probability=1.0)
+        inj = injector(spec, seed=9)
+        inj.fires(FaultKind.LINK_DROP, time=1.0)
+        record = inj.log[0]
+        assert record.seq >= 0
+        assert "seq" not in record.to_dict()
+        assert "seq" not in record.render()
+
+
+class TestReplay:
+    def test_replay_reproduces_the_log_without_randomness(self):
+        spec = FaultSpec(kind=FaultKind.LINK_DROP, probability=0.5)
+        original = injector(spec, seed=21)
+        decisions = [
+            original.fires(FaultKind.LINK_DROP, time=float(t))
+            for t in range(30)
+        ]
+        assert any(decisions) and not all(decisions)
+
+        replay = FaultInjector.replaying(original.plan, original.log)
+        replayed = [
+            replay.fires(FaultKind.LINK_DROP, time=float(t))
+            for t in range(30)
+        ]
+        assert replayed == decisions
+        assert replay.to_jsonl() == original.to_jsonl()
+
+    def test_replay_covers_scheduled_and_probabilistic_kinds(self):
+        specs = (
+            FaultSpec(kind=FaultKind.LINK_DROP, probability=0.5),
+            FaultSpec(kind=FaultKind.TAP_DROPOUT, at_times=(3.0, 8.0)),
+        )
+        original = injector(*specs, seed=4)
+        for t in range(12):
+            original.fires(FaultKind.LINK_DROP, time=float(t))
+            original.fires(FaultKind.TAP_DROPOUT, time=float(t))
+
+        replay = FaultInjector.replaying(original.plan, original.log)
+        for t in range(12):
+            replay.fires(FaultKind.LINK_DROP, time=float(t))
+            replay.fires(FaultKind.TAP_DROPOUT, time=float(t))
+        assert replay.to_jsonl() == original.to_jsonl()
+
+    def test_quiet_consultations_stay_quiet_under_replay(self):
+        spec = FaultSpec(kind=FaultKind.LINK_DROP, probability=0.0)
+        original = injector(spec, seed=4)
+        for t in range(5):
+            assert not original.fires(FaultKind.LINK_DROP, time=float(t))
+        replay = FaultInjector.replaying(original.plan, original.log)
+        assert not any(
+            replay.fires(FaultKind.LINK_DROP, time=float(t))
+            for t in range(5)
+        )

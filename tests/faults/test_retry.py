@@ -97,3 +97,105 @@ class TestRunWithRetries:
                 on_retry=lambda index, exc, at: observed.append((index, at)),
             )
         assert observed == [(0, 10.0), (1, 30.0)]
+
+
+class TestJitter:
+    def test_zero_jitter_is_byte_identical_to_the_old_schedule(self):
+        plain = RetryPolicy(max_attempts=4, base_delay=10.0, multiplier=3.0)
+        explicit = RetryPolicy(
+            max_attempts=4,
+            base_delay=10.0,
+            multiplier=3.0,
+            jitter=0.0,
+            jitter_seed=999,
+        )
+        assert plain.schedule() == explicit.schedule() == (10.0, 30.0, 90.0)
+
+    def test_jittered_schedule_is_deterministic(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=10.0, jitter=0.25, jitter_seed=42
+        )
+        again = RetryPolicy(
+            max_attempts=5, base_delay=10.0, jitter=0.25, jitter_seed=42
+        )
+        assert policy.schedule() == again.schedule()
+
+    def test_jitter_stays_within_the_declared_fraction(self):
+        policy = RetryPolicy(
+            max_attempts=6,
+            base_delay=10.0,
+            multiplier=2.0,
+            jitter=0.25,
+            jitter_seed=7,
+        )
+        for index, interval in enumerate(policy.schedule()):
+            nominal = min(10.0 * 2.0**index, policy.max_delay)
+            assert nominal * 0.75 <= interval <= nominal * 1.25
+
+    def test_different_seeds_give_different_schedules(self):
+        kwargs = dict(max_attempts=6, base_delay=10.0, jitter=0.5)
+        one = RetryPolicy(jitter_seed=1, **kwargs)
+        two = RetryPolicy(jitter_seed=2, **kwargs)
+        assert one.schedule() != two.schedule()
+
+    def test_jitter_is_per_index_not_call_order(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=10.0, jitter=0.3, jitter_seed=9
+        )
+        # Asking for index 3 first must not shift index 0's draw.
+        late_first = (policy.delay(3), policy.delay(0))
+        early_first = (policy.delay(0), policy.delay(3))
+        assert late_first == (early_first[1], early_first[0])
+
+    @pytest.mark.parametrize("jitter", [-0.1, 1.0, 1.5])
+    def test_jitter_bounds_validated(self, jitter):
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=jitter)
+
+
+class TestMaxTotalBackoff:
+    def test_total_is_clipped_not_truncated(self):
+        policy = RetryPolicy(
+            max_attempts=4,
+            base_delay=10.0,
+            multiplier=3.0,
+            max_total_backoff=25.0,
+        )
+        # Unclipped: 10, 30, 90.  The budget admits 10, then 15 of the
+        # 30, then nothing — but the retries themselves survive.
+        assert policy.schedule() == (10.0, 15.0, 0.0)
+        assert policy.total_backoff() == 25.0
+
+    def test_generous_budget_changes_nothing(self):
+        policy = RetryPolicy(
+            max_attempts=4,
+            base_delay=10.0,
+            multiplier=3.0,
+            max_total_backoff=1000.0,
+        )
+        assert policy.schedule() == (10.0, 30.0, 90.0)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="max_total_backoff"):
+            RetryPolicy(max_total_backoff=-1.0)
+
+    def test_run_with_retries_honours_the_cap(self):
+        seen_times = []
+
+        def flaky(now):
+            seen_times.append(now)
+            if len(seen_times) < 4:
+                raise CourtFault("denied")
+            return "granted"
+
+        policy = RetryPolicy(
+            max_attempts=4,
+            base_delay=10.0,
+            multiplier=3.0,
+            max_total_backoff=25.0,
+        )
+        result, attempts, elapsed = run_with_retries(flaky, policy)
+        assert result == "granted"
+        assert attempts == 4
+        assert seen_times == [0.0, 10.0, 25.0, 25.0]
+        assert elapsed == 25.0

@@ -202,3 +202,130 @@ class TestTraceOut:
             for line in out.read_text(encoding="utf-8").splitlines()
         ]
         assert any(r["name"] == "campaign.case" for r in records)
+
+
+class TestWorkflow:
+    def test_run_completes_and_reports(self, capsys, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        code = main(
+            [
+                "workflow",
+                "run",
+                "photo-recovery",
+                "--seed",
+                "7",
+                "--journal",
+                str(journal),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "status=completed" in out
+        assert "workflow report: photo-recovery" in out
+        assert journal.exists()
+
+    def test_crash_then_resume_roundtrip(self, capsys, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        code = main(
+            [
+                "workflow",
+                "run",
+                "mailstore-triage",
+                "--journal",
+                str(journal),
+                "--fault-plan",
+                "crash-after-record=3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 3
+        assert "crashed" in out
+        assert "resume" in out
+
+        code = main(
+            [
+                "workflow",
+                "resume",
+                "mailstore-triage",
+                "--journal",
+                str(journal),
+                "-q",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "status=completed" in out
+        assert "RESUMED" in out
+
+    def test_unknown_pack_lists_choices(self, capsys):
+        assert main(["workflow", "run", "nope"]) == 2
+        out = capsys.readouterr().out
+        assert "photo-recovery" in out
+        assert "mailstore-triage" in out
+
+    def test_bad_fault_plan_rejected(self, capsys):
+        code = main(
+            [
+                "workflow",
+                "run",
+                "photo-recovery",
+                "--fault-plan",
+                "bogus-token=1",
+            ]
+        )
+        assert code == 2
+
+    def test_resume_without_journal_fails_cleanly(self, capsys, tmp_path):
+        code = main(
+            [
+                "workflow",
+                "resume",
+                "photo-recovery",
+                "--journal",
+                str(tmp_path / "missing.jsonl"),
+            ]
+        )
+        assert code == 2
+        assert "cannot resume" in capsys.readouterr().out
+
+    def test_batch_runs_independent_items(self, capsys, tmp_path):
+        code = main(
+            [
+                "workflow",
+                "run",
+                "mailstore-triage",
+                "--items",
+                "2",
+                "--seed",
+                "40",
+                "--workers",
+                "1",
+                "--journal-dir",
+                str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "items=2" in out
+        assert (tmp_path / "mailstore-triage-seed40.jsonl").exists()
+        assert (tmp_path / "mailstore-triage-seed41.jsonl").exists()
+
+    def test_verify_resume_gate_passes(self, capsys, tmp_path):
+        code = main(
+            [
+                "workflow",
+                "verify-resume",
+                "--pack",
+                "mailstore-triage",
+                "--seed",
+                "5",
+                "--chaos",
+                "2",
+                "--workdir",
+                str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verdict: OK" in out
+        assert "boundary check(s)" in out

@@ -1,0 +1,64 @@
+"""Unit tests for workflow artifacts and the artifact store."""
+
+import pytest
+
+from repro.workflow.artifacts import Artifact, ArtifactStore
+
+
+class TestArtifact:
+    def test_content_hash_is_stable(self):
+        one = Artifact(kind="image.raw", content=b"abc")
+        two = Artifact(kind="image.raw", content=b"abc")
+        assert one.sha256 == two.sha256
+        assert len(one.sha256) == 64
+
+    def test_meta_is_canonically_sorted(self):
+        scrambled = Artifact(
+            kind="k", content=b"x", meta=(("zulu", "1"), ("alpha", "2"))
+        )
+        sorted_meta = Artifact(
+            kind="k", content=b"x", meta=(("alpha", "2"), ("zulu", "1"))
+        )
+        assert scrambled == sorted_meta
+        assert scrambled.meta_value("alpha") == "2"
+
+    def test_missing_meta_key_returns_default(self):
+        artifact = Artifact(kind="k", content=b"x")
+        assert artifact.meta_value("nope") == ""
+        assert artifact.meta_value("nope", "fallback") == "fallback"
+
+    def test_empty_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            Artifact(kind="", content=b"x")
+
+    def test_describe_mentions_kind_and_hash(self):
+        artifact = Artifact(kind="mail.hashes", content=b"x")
+        text = artifact.describe()
+        assert "mail.hashes" in text
+        assert artifact.sha256[:12] in text
+
+
+class TestArtifactStore:
+    def test_duplicate_kind_rejected(self):
+        store = ArtifactStore()
+        store.add(Artifact(kind="k", content=b"1"))
+        with pytest.raises(ValueError, match="duplicate"):
+            store.add(Artifact(kind="k", content=b"2"))
+
+    def test_hash_set_is_sorted_by_kind(self):
+        store = ArtifactStore()
+        store.add(Artifact(kind="zeta", content=b"z"))
+        store.add(Artifact(kind="alpha", content=b"a"))
+        lines = store.hash_set()
+        assert [line.split(":", 1)[0] for line in lines] == ["alpha", "zeta"]
+
+    def test_digest_depends_on_content(self):
+        one = ArtifactStore()
+        one.add(Artifact(kind="k", content=b"1"))
+        two = ArtifactStore()
+        two.add(Artifact(kind="k", content=b"2"))
+        assert one.digest() != two.digest()
+
+    def test_get_unknown_kind_raises(self):
+        with pytest.raises(KeyError):
+            ArtifactStore().get("nothing")

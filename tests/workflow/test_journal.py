@@ -1,0 +1,97 @@
+"""Unit tests for the append-only journal and its crash model."""
+
+import json
+
+import pytest
+
+from repro.evidence.custody import CustodyEntry
+from repro.workflow.artifacts import Artifact
+from repro.workflow.journal import (
+    Journal,
+    JournalError,
+    WorkflowCrash,
+    artifact_from_record,
+    artifact_to_record,
+    custody_from_record,
+    custody_to_record,
+    load_journal,
+)
+
+
+class TestJournal:
+    def test_append_and_load_roundtrip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = Journal(path)
+        journal.append({"kind": "run-start", "b": 2, "a": 1})
+        journal.append({"kind": "step", "step_id": "x"})
+        assert load_journal(path) == [
+            {"kind": "run-start", "b": 2, "a": 1},
+            {"kind": "step", "step_id": "x"},
+        ]
+
+    def test_records_are_canonical_json_lines(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        Journal(path).append({"zeta": 1, "alpha": 2})
+        assert path.read_text() == '{"alpha":2,"zeta":1}\n'
+
+    def test_crash_fires_after_the_record_lands(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = Journal(path, crash_after=2)
+        journal.append({"n": 1})
+        with pytest.raises(WorkflowCrash):
+            journal.append({"n": 2})
+        # The worst case: the record survived, the process did not.
+        assert load_journal(path) == [{"n": 1}, {"n": 2}]
+
+    def test_preexisting_records_count_toward_the_crash_point(self):
+        journal = Journal(None, crash_after=3, existing=2)
+        with pytest.raises(WorkflowCrash):
+            journal.append({"n": 3})
+
+    def test_memory_mode_holds_records(self):
+        journal = Journal(None)
+        journal.append({"n": 1})
+        assert journal.memory_records == ({"n": 1},)
+
+    def test_torn_final_line_is_discarded(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"n":1}\n{"n":2}\n{"truncat')
+        assert load_journal(path) == [{"n": 1}, {"n": 2}]
+
+    def test_interior_corruption_is_an_error(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"n":1}\ngarbage\n{"n":3}\n')
+        with pytest.raises(JournalError, match="line 2"):
+            load_journal(path)
+
+    def test_missing_file_is_an_error(self, tmp_path):
+        with pytest.raises(JournalError, match="cannot read"):
+            load_journal(tmp_path / "nope.jsonl")
+
+
+class TestSerialization:
+    def test_artifact_roundtrip(self):
+        artifact = Artifact(
+            kind="image.raw",
+            content=b"\x00\xffbinary",
+            meta=(("source", "dev0"),),
+            produced_by="acquire",
+        )
+        record = json.loads(json.dumps(artifact_to_record(artifact)))
+        assert artifact_from_record(record) == artifact
+
+    def test_artifact_hash_mismatch_rejected(self):
+        record = artifact_to_record(Artifact(kind="k", content=b"good"))
+        record["sha256"] = "0" * 64
+        with pytest.raises(JournalError, match="hash mismatch"):
+            artifact_from_record(record)
+
+    def test_custody_roundtrip(self):
+        entry = CustodyEntry(
+            timestamp=12.5,
+            custodian="workflow-engine",
+            event="acquired image",
+            content_hash="ab" * 32,
+        )
+        record = json.loads(json.dumps(custody_to_record(entry)))
+        assert custody_from_record(record) == entry

@@ -1,0 +1,70 @@
+"""`repro workflow lint`: pack step bodies go through the AST linter.
+
+The shipped packs must be clean; a deliberately bad pack module — an
+ungated ``image_device`` call and a process re-application loop with no
+backoff — must trip REPRO110 and REPRO113 through the same entry point.
+"""
+
+import textwrap
+
+from repro.analysis import has_errors, run_lint
+from repro.workflow.packs import get_pack, pack_names
+
+_BAD_PACK = '''
+"""A deliberately non-compliant pack module for lint wiring tests."""
+
+
+def grab_everything(device):
+    # No require_process / validity check on any path: REPRO110.
+    image = image_device(device)
+    return image
+
+
+def hammer_the_court(investigator, court):
+    application = investigator.apply_for("warrant")
+    while not application.granted:
+        # Re-applies without advancing simulated time: REPRO113.
+        application = investigator.apply_for("warrant")
+    return application
+'''
+
+
+class TestShippedPacksAreClean:
+    def test_no_findings_in_any_registered_pack(self):
+        paths = [
+            path
+            for name in pack_names()
+            for path in get_pack(name).source_paths()
+        ]
+        run = run_lint(paths)
+        assert not run.diagnostics, [
+            f"{d.code}: {d.message}" for d in run.diagnostics
+        ]
+
+
+class TestBadStepBodiesAreCaught:
+    def test_ungated_acquisition_and_hot_retry_loop_flagged(self, tmp_path):
+        bad = tmp_path / "bad_pack.py"
+        bad.write_text(textwrap.dedent(_BAD_PACK))
+        run = run_lint([bad])
+        codes = {diagnostic.code for diagnostic in run.diagnostics}
+        assert "REPRO110" in codes, codes
+        assert "REPRO113" in codes, codes
+        assert has_errors(run.diagnostics)
+
+    def test_cli_lint_surfaces_the_findings(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad_pack.py"
+        bad.write_text(textwrap.dedent(_BAD_PACK))
+        exit_code = main(["workflow", "lint", str(bad)])
+        output = capsys.readouterr().out
+        assert exit_code == 1
+        assert "REPRO110" in output
+        assert "REPRO113" in output
+
+    def test_cli_lint_passes_on_the_shipped_packs(self, capsys):
+        from repro.cli import main
+
+        assert main(["workflow", "lint"]) == 0
+        assert "no findings" in capsys.readouterr().out

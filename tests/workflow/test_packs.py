@@ -1,0 +1,93 @@
+"""The scenario packs: real substrates under the workflow engine."""
+
+import pytest
+
+from repro.core.enums import ProcessKind
+from repro.workflow.engine import WorkflowEngine
+from repro.workflow.journal import load_journal
+from repro.workflow.packs import get_pack, pack_names
+from repro.workflow.report import StepStatus
+
+
+class TestRegistry:
+    def test_both_packs_registered(self):
+        assert pack_names() == ("mailstore-triage", "photo-recovery")
+
+    def test_unknown_pack_raises_with_choices(self):
+        with pytest.raises(KeyError, match="available"):
+            get_pack("nope")
+
+    def test_source_paths_exist(self):
+        for name in pack_names():
+            for path in get_pack(name).source_paths():
+                assert path.exists()
+
+
+@pytest.mark.parametrize("name", ["photo-recovery", "mailstore-triage"])
+class TestPackRuns:
+    def test_run_completes_with_all_steps(self, name, tmp_path):
+        pack = get_pack(name)
+        subject = pack.build_subject(7, None)
+        result = WorkflowEngine(pack.build_spec()).run(
+            subject, seed=7, journal_path=tmp_path / "j.jsonl"
+        )
+        assert result.status == "completed"
+        assert not result.suppressed
+        spec = pack.build_spec()
+        assert len(result.outcomes) == len(spec.steps)
+        for outcome in result.outcomes:
+            assert outcome.status is StepStatus.COMPLETED, outcome
+        # run-start + one record per step + run-complete
+        records = load_journal(tmp_path / "j.jsonl")
+        assert len(records) == len(spec.steps) + 2
+        assert records[0]["kind"] == "run-start"
+        assert records[-1]["kind"] == "run-complete"
+
+    def test_same_seed_is_byte_identical(self, name, tmp_path):
+        pack = get_pack(name)
+
+        def one_run():
+            subject = pack.build_subject(11, None)
+            return WorkflowEngine(pack.build_spec()).run(subject, seed=11)
+
+        first, second = one_run(), one_run()
+        assert first.report_text == second.report_text
+        assert first.artifacts.hash_set() == second.artifacts.hash_set()
+
+    def test_different_seeds_differ(self, name):
+        pack = get_pack(name)
+        runs = []
+        for seed in (3, 4):
+            subject = pack.build_subject(seed, None)
+            runs.append(
+                WorkflowEngine(pack.build_spec()).run(subject, seed=seed)
+            )
+        assert runs[0].artifacts.hash_set() != runs[1].artifacts.hash_set()
+
+    def test_spec_passes_the_static_gate(self, name):
+        WorkflowEngine(get_pack(name).build_spec()).check_legality()
+
+
+class TestPackLegalStructure:
+    def test_photo_recovery_gates_imaging_on_a_warrant(self):
+        spec = get_pack("photo-recovery").build_spec()
+        acquire = spec.step("acquire_image")
+        assert acquire.gate is ProcessKind.SEARCH_WARRANT
+        assert acquire.legal_action is not None
+
+    def test_mailstore_uses_two_process_tiers(self):
+        spec = get_pack("mailstore-triage").build_spec()
+        gates = {step.step_id: step.gate for step in spec.gated_steps()}
+        assert gates == {
+            "inventory": ProcessKind.SUBPOENA,
+            "acquire_content": ProcessKind.SEARCH_WARRANT,
+        }
+
+    def test_mailstore_content_taints_through_ungated_hops(self):
+        plan = get_pack("mailstore-triage").build_spec().to_plan()
+        notes = [step.note for step in plan.steps]
+        assert notes == ["inventory", "acquire_content"]
+        # acquire_content consumes sca.roles, produced by an ungated
+        # step fed by the subpoenaed inventory — the evidence edge must
+        # survive that hop into the plan IR.
+        assert plan.steps[1].uses == (1,)

@@ -1,0 +1,67 @@
+"""The acceptance gate: crash at every boundary, resume byte-identically.
+
+These are the issue's headline tests — a run killed at *any* journal
+record boundary, including under live storage-fault injection and even
+when the baseline run itself aborts, must resume to the same final
+report bytes, artifact hash set, custody chain, and suppression
+outcome.
+"""
+
+import pytest
+
+from repro.workflow.faultplan import WorkflowFaultPlan
+from repro.workflow.packs import get_pack, pack_names
+from repro.workflow.verify import _run_once, chaos_sample, resume_sweep
+
+
+@pytest.mark.parametrize("name", sorted(pack_names()))
+class TestEveryBoundary:
+    def test_plain_sweep(self, name, tmp_path):
+        report = resume_sweep(name, seed=7, workdir=tmp_path)
+        assert report.boundaries, "sweep checked nothing"
+        assert report.ok, report.render()
+
+    def test_sweep_under_storage_faults(self, name, tmp_path):
+        plan = WorkflowFaultPlan(
+            storage_read_probability=0.05,
+            storage_bitrot_probability=0.01,
+            fault_seed=11,
+        )
+        report = resume_sweep(name, seed=11, workdir=tmp_path, fault_plan=plan)
+        assert report.ok, report.render()
+
+
+class TestAbortedRunsResume:
+    def test_photo_recovery_aborted_baseline_resumes_identically(
+        self, tmp_path
+    ):
+        # Aggressive enough that acquisition exhausts its retries: the
+        # baseline aborts and suppresses, and every crash boundary must
+        # restore that exact degraded outcome.
+        plan = WorkflowFaultPlan(
+            storage_read_probability=0.25,
+            storage_bitrot_probability=0.05,
+            fault_seed=11,
+        )
+        baseline = _run_once(
+            get_pack("photo-recovery"),
+            7,
+            tmp_path / "abort-baseline.jsonl",
+            plan,
+            None,
+        )
+        assert baseline.status == "aborted"
+        assert baseline.suppressed
+
+        report = resume_sweep(
+            "photo-recovery", seed=7, workdir=tmp_path, fault_plan=plan
+        )
+        assert report.ok, report.render()
+
+
+class TestChaosSample:
+    @pytest.mark.parametrize("name", sorted(pack_names()))
+    def test_chaos_plans_resume_identically(self, name, tmp_path):
+        report = chaos_sample(name, tmp_path, n_plans=25)
+        assert len(report.boundaries) == 25
+        assert report.ok, report.render()

@@ -1,0 +1,132 @@
+"""Unit tests for the declarative workflow DSL and its plan compiler."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.enums import ProcessKind
+from repro.workflow.packs.mailstore_triage import (
+    CONTENT_ACTION,
+    INVENTORY_ACTION,
+)
+from repro.workflow.spec import (
+    StepSpec,
+    WorkflowDefinitionError,
+    WorkflowSpec,
+)
+
+
+def _noop(ctx):
+    raise AssertionError("spec tests never execute step bodies")
+
+
+def _step(step_id, inputs=(), outputs=("out",), **kwargs):
+    return StepSpec(
+        step_id=step_id,
+        title=step_id,
+        run=_noop,
+        inputs=inputs,
+        outputs=outputs,
+        **kwargs,
+    )
+
+
+class TestStepSpecValidation:
+    def test_empty_step_id_rejected(self):
+        with pytest.raises(WorkflowDefinitionError, match="step_id"):
+            _step("")
+
+    def test_no_outputs_rejected(self):
+        with pytest.raises(WorkflowDefinitionError, match="no outputs"):
+            _step("a", outputs=())
+
+    def test_duplicate_outputs_rejected(self):
+        with pytest.raises(WorkflowDefinitionError, match="duplicate"):
+            _step("a", outputs=("x", "x"))
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(WorkflowDefinitionError, match="timeout"):
+            _step("a", timeout=0.0)
+
+
+class TestWorkflowSpecValidation:
+    def test_duplicate_step_ids_rejected(self):
+        with pytest.raises(WorkflowDefinitionError, match="duplicate step"):
+            WorkflowSpec(
+                name="w",
+                steps=(_step("a", outputs=("x",)), _step("a", outputs=("y",))),
+            )
+
+    def test_input_must_come_from_earlier_step(self):
+        with pytest.raises(WorkflowDefinitionError, match="not .*produced"):
+            WorkflowSpec(
+                name="w",
+                steps=(_step("a", inputs=("missing",), outputs=("x",)),),
+            )
+
+    def test_each_kind_has_one_producer(self):
+        with pytest.raises(WorkflowDefinitionError, match="produced by both"):
+            WorkflowSpec(
+                name="w",
+                steps=(_step("a", outputs=("x",)), _step("b", outputs=("x",))),
+            )
+
+    def test_gate_above_declared_instruments_rejected(self):
+        with pytest.raises(WorkflowDefinitionError, match="gates on"):
+            WorkflowSpec(
+                name="w",
+                instruments=(ProcessKind.SUBPOENA,),
+                steps=(
+                    _step(
+                        "a",
+                        outputs=("x",),
+                        legal_action=CONTENT_ACTION,
+                        gate=ProcessKind.SEARCH_WARRANT,
+                    ),
+                ),
+            )
+
+
+class TestDependencyGraph:
+    def _spec(self):
+        return WorkflowSpec(
+            name="w",
+            instruments=(
+                ProcessKind.SUBPOENA,
+                ProcessKind.SEARCH_WARRANT,
+            ),
+            steps=(
+                _step(
+                    "acquire",
+                    outputs=("raw",),
+                    legal_action=INVENTORY_ACTION,
+                    gate=ProcessKind.SUBPOENA,
+                ),
+                _step("hash", inputs=("raw",), outputs=("hashes",)),
+                _step(
+                    "deep",
+                    inputs=("hashes",),
+                    outputs=("deep.out",),
+                    legal_action=CONTENT_ACTION,
+                    gate=ProcessKind.SEARCH_WARRANT,
+                ),
+            ),
+        )
+
+    def test_direct_and_transitive_dependencies(self):
+        spec = self._spec()
+        assert spec.dependencies("deep") == ("hash",)
+        assert spec.transitive_dependencies("deep") == ("acquire", "hash")
+
+    def test_to_plan_wires_gated_transitive_uses(self):
+        plan = self._spec().to_plan()
+        assert [step.note for step in plan.steps] == ["acquire", "deep"]
+        # "deep" consumes "acquire" only through the ungated "hash" step,
+        # and the evidence edge must survive the hop.
+        assert plan.steps[1].uses == (1,)
+
+    def test_spec_digest_changes_with_structure(self):
+        spec = self._spec()
+        renamed = dataclasses.replace(spec, name="other")
+        assert spec.spec_digest() != renamed.spec_digest()
+        assert spec.spec_digest() == self._spec().spec_digest()

@@ -1,0 +1,359 @@
+"""Engine behaviour: gating, retries, degradation, journaling, resume."""
+
+import pytest
+
+from repro.core.enums import ProcessKind
+from repro.faults.retry import RetryPolicy
+from repro.workflow.context import StepFailure
+from repro.workflow.engine import WorkflowEngine, WorkflowLegalityError
+from repro.workflow.journal import load_journal
+from repro.workflow.packs.mailstore_triage import (
+    CONTENT_ACTION,
+    INVENTORY_ACTION,
+)
+from repro.workflow.report import StepStatus
+from repro.workflow.spec import OnFailure, StepSpec, WorkflowSpec
+
+
+def _subject():
+    from repro.workflow.context import Subject
+
+    return Subject(
+        subject_id="unit-subject",
+        description="synthetic evidence for engine tests",
+        fingerprint="fingerprint-bytes",
+        action=INVENTORY_ACTION,
+        payload=None,
+    )
+
+
+def _produce(ctx):
+    return (ctx.make("seed.data", f"seeded {ctx.rng.randrange(1000)}"),)
+
+
+def _spec(*steps, instruments=(ProcessKind.SUBPOENA,)):
+    return WorkflowSpec(name="unit", steps=steps, instruments=instruments)
+
+
+class TestHappyPath:
+    def test_linear_run_completes(self, tmp_path):
+        def consume(ctx):
+            seen = ctx.input("seed.data").content.decode()
+            return (ctx.make("derived", f"derived from: {seen}"),)
+
+        spec = _spec(
+            StepSpec(
+                step_id="a", title="a", run=_produce, outputs=("seed.data",)
+            ),
+            StepSpec(
+                step_id="b",
+                title="b",
+                run=consume,
+                inputs=("seed.data",),
+                outputs=("derived",),
+            ),
+        )
+        result = WorkflowEngine(spec).run(
+            _subject(), seed=3, journal_path=tmp_path / "j.jsonl"
+        )
+        assert result.status == "completed"
+        assert not result.suppressed
+        assert result.artifacts.kinds() == ("derived", "seed.data")
+        assert result.outcome("b").status is StepStatus.COMPLETED
+        # run-start + 2 steps + run-complete
+        assert len(load_journal(tmp_path / "j.jsonl")) == 4
+
+    def test_sim_time_accumulates_per_step_cost(self):
+        spec = _spec(
+            StepSpec(
+                step_id="a",
+                title="a",
+                run=_produce,
+                outputs=("seed.data",),
+                sim_cost=25.0,
+            ),
+        )
+        result = WorkflowEngine(spec).run(_subject(), seed=1)
+        assert result.finished_at == 25.0
+
+    def test_same_seed_reproduces_report_bytes(self):
+        spec = _spec(
+            StepSpec(
+                step_id="a", title="a", run=_produce, outputs=("seed.data",)
+            ),
+        )
+        one = WorkflowEngine(spec).run(_subject(), seed=9)
+        two = WorkflowEngine(spec).run(_subject(), seed=9)
+        other = WorkflowEngine(spec).run(_subject(), seed=10)
+        assert one.report_text == two.report_text
+        assert one.report_text != other.report_text
+
+
+class TestLegalityGate:
+    def test_underprocessed_workflow_rejected_before_running(self, tmp_path):
+        ran = []
+
+        def body(ctx):
+            ran.append(ctx.step_id)
+            return (ctx.make("mail.content", "contents"),)
+
+        # Content demands a warrant; the workflow declares only a
+        # subpoena.  The static gate must reject before the body runs.
+        spec = _spec(
+            StepSpec(
+                step_id="grab",
+                title="grab",
+                run=body,
+                outputs=("mail.content",),
+                legal_action=CONTENT_ACTION,
+                gate=ProcessKind.SUBPOENA,
+            ),
+        )
+        journal = tmp_path / "never.jsonl"
+        with pytest.raises(WorkflowLegalityError) as excinfo:
+            WorkflowEngine(spec).run(_subject(), journal_path=journal)
+        assert not ran
+        assert not journal.exists()
+        assert not excinfo.value.report.ok
+
+
+class TestDegradation:
+    def test_flaky_step_retries_to_success(self):
+        def flaky(ctx):
+            if ctx.attempt < 3:
+                raise StepFailure(f"transient on attempt {ctx.attempt}")
+            return (ctx.make("seed.data", "finally"),)
+
+        spec = _spec(
+            StepSpec(
+                step_id="a",
+                title="a",
+                run=flaky,
+                outputs=("seed.data",),
+                retry=RetryPolicy(max_attempts=3, base_delay=10.0),
+                sim_cost=5.0,
+            ),
+        )
+        result = WorkflowEngine(spec).run(_subject(), seed=2)
+        outcome = result.outcome("a")
+        assert outcome.status is StepStatus.COMPLETED
+        assert outcome.attempts == 3
+        # 3 attempts x 5s cost + 10s + 20s backoff.
+        assert result.finished_at == 45.0
+
+    def test_skip_policy_degrades_and_cascades(self):
+        def broken(ctx):
+            raise StepFailure("always down")
+
+        def downstream(ctx):
+            return (ctx.make("derived", ctx.input("seed.data").sha256),)
+
+        spec = _spec(
+            StepSpec(
+                step_id="a",
+                title="a",
+                run=broken,
+                outputs=("seed.data",),
+                retry=RetryPolicy(max_attempts=2, base_delay=1.0),
+                on_failure=OnFailure.SKIP_WITH_PARTIAL_CONFIDENCE,
+            ),
+            StepSpec(
+                step_id="b",
+                title="b",
+                run=downstream,
+                inputs=("seed.data",),
+                outputs=("derived",),
+            ),
+        )
+        result = WorkflowEngine(spec).run(_subject(), seed=2)
+        assert result.status == "completed"
+        assert not result.suppressed
+        assert result.outcome("a").status is StepStatus.SKIPPED
+        # The consumer cannot run without its input, but the run itself
+        # survives at partial confidence.
+        assert result.outcome("b").status is StepStatus.SKIPPED
+        assert "upstream unavailable" in result.outcome("b").detail
+
+    def test_abort_policy_suppresses_and_halts(self):
+        def broken(ctx):
+            raise StepFailure("fatal")
+
+        def never(ctx):  # pragma: no cover - must not run
+            raise AssertionError("downstream ran after an abort")
+
+        spec = _spec(
+            StepSpec(
+                step_id="a",
+                title="a",
+                run=broken,
+                outputs=("seed.data",),
+                on_failure=OnFailure.ABORT_AND_SUPPRESS,
+            ),
+            StepSpec(
+                step_id="b",
+                title="b",
+                run=never,
+                inputs=("seed.data",),
+                outputs=("derived",),
+            ),
+        )
+        result = WorkflowEngine(spec).run(_subject(), seed=2)
+        assert result.status == "aborted"
+        assert result.suppressed
+        assert result.outcome("a").status is StepStatus.FAILED
+        assert result.outcome("a").attempts == 1  # no retry under abort
+        assert result.outcome("b").status is StepStatus.NOT_RUN
+
+    def test_legal_violation_always_aborts_even_under_skip_policy(self):
+        def overreach(ctx):
+            ctx.require_process(ProcessKind.WIRETAP_ORDER)
+            return (ctx.make("seed.data", "never"),)
+
+        spec = _spec(
+            StepSpec(
+                step_id="a",
+                title="a",
+                run=overreach,
+                outputs=("seed.data",),
+                retry=RetryPolicy(max_attempts=3, base_delay=1.0),
+                on_failure=OnFailure.SKIP_WITH_PARTIAL_CONFIDENCE,
+            ),
+        )
+        result = WorkflowEngine(spec).run(_subject(), seed=2)
+        assert result.status == "aborted"
+        assert result.suppressed
+        assert "legal violation" in result.suppression_reason
+        assert result.outcome("a").attempts == 1  # never retried
+
+    def test_timeout_counts_as_failure(self):
+        spec = _spec(
+            StepSpec(
+                step_id="a",
+                title="a",
+                run=_produce,
+                outputs=("seed.data",),
+                sim_cost=100.0,
+                timeout=50.0,
+            ),
+        )
+        result = WorkflowEngine(spec).run(_subject(), seed=2)
+        assert result.status == "aborted"
+        assert "sim time" in result.suppression_reason
+
+
+class TestResume:
+    def _spec(self):
+        def consume(ctx):
+            return (ctx.make("derived", ctx.input("seed.data").sha256),)
+
+        return _spec(
+            StepSpec(
+                step_id="a", title="a", run=_produce, outputs=("seed.data",)
+            ),
+            StepSpec(
+                step_id="b",
+                title="b",
+                run=consume,
+                inputs=("seed.data",),
+                outputs=("derived",),
+            ),
+        )
+
+    def test_resume_rejects_wrong_seed(self, tmp_path):
+        from repro.workflow.journal import JournalError, WorkflowCrash
+
+        journal = tmp_path / "j.jsonl"
+        spec = self._spec()
+        with pytest.raises(WorkflowCrash):
+            WorkflowEngine(spec).run(
+                _subject(), seed=5, journal_path=journal, crash_after=2
+            )
+        with pytest.raises(JournalError, match="seed"):
+            WorkflowEngine(spec).resume(
+                _subject(), seed=6, journal_path=journal
+            )
+
+    def test_resume_rejects_different_spec(self, tmp_path):
+        from repro.workflow.journal import JournalError, WorkflowCrash
+
+        journal = tmp_path / "j.jsonl"
+        with pytest.raises(WorkflowCrash):
+            WorkflowEngine(self._spec()).run(
+                _subject(), seed=5, journal_path=journal, crash_after=2
+            )
+        other = _spec(
+            StepSpec(
+                step_id="only", title="o", run=_produce, outputs=("seed.data",)
+            ),
+        )
+        with pytest.raises(JournalError, match="different workflow spec"):
+            WorkflowEngine(other).resume(
+                _subject(), seed=5, journal_path=journal
+            )
+
+    def test_resume_rejects_changed_evidence(self, tmp_path):
+        import dataclasses
+
+        from repro.workflow.journal import JournalError, WorkflowCrash
+
+        journal = tmp_path / "j.jsonl"
+        spec = self._spec()
+        with pytest.raises(WorkflowCrash):
+            WorkflowEngine(spec).run(
+                _subject(), seed=5, journal_path=journal, crash_after=2
+            )
+        tampered = dataclasses.replace(
+            _subject(), fingerprint="tampered-bytes"
+        )
+        with pytest.raises(JournalError, match="fingerprint"):
+            WorkflowEngine(spec).resume(
+                tampered, seed=5, journal_path=journal
+            )
+
+    def test_resume_skips_completed_steps(self, tmp_path):
+        from repro.workflow.journal import WorkflowCrash
+
+        runs = []
+
+        def counting(ctx):
+            runs.append(ctx.step_id)
+            return (ctx.make("seed.data", "once"),)
+
+        def consume(ctx):
+            runs.append(ctx.step_id)
+            return (ctx.make("derived", ctx.input("seed.data").sha256),)
+
+        spec = _spec(
+            StepSpec(
+                step_id="a", title="a", run=counting, outputs=("seed.data",)
+            ),
+            StepSpec(
+                step_id="b",
+                title="b",
+                run=consume,
+                inputs=("seed.data",),
+                outputs=("derived",),
+            ),
+        )
+        journal = tmp_path / "j.jsonl"
+        engine = WorkflowEngine(spec)
+        # Crash after run-start + step a.
+        with pytest.raises(WorkflowCrash):
+            engine.run(_subject(), seed=5, journal_path=journal, crash_after=2)
+        assert runs == ["a"]
+        result = engine.resume(_subject(), seed=5, journal_path=journal)
+        assert runs == ["a", "b"]  # a restored, not re-executed
+        assert result.resumed
+        assert result.outcome("a").restored
+        assert not result.outcome("b").restored
+        assert result.status == "completed"
+
+    def test_resume_of_completed_run_is_a_pure_replay(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        spec = self._spec()
+        engine = WorkflowEngine(spec)
+        original = engine.run(_subject(), seed=5, journal_path=journal)
+        size_after_run = len(load_journal(journal))
+        replayed = engine.resume(_subject(), seed=5, journal_path=journal)
+        assert replayed.report_text == original.report_text
+        assert len(load_journal(journal)) == size_after_run  # no new records
