@@ -366,6 +366,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro import obs
     from repro.faults.chaos import run_chaos
 
+    ledger = None
+    if args.ledger:
+        from repro.ledger import Ledger
+
+        ledger = Ledger(args.ledger)
     collector = obs.enable(obs.TraceCollector()) if args.trace_out else None
     try:
         report = run_chaos(
@@ -374,6 +379,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             scenes=args.scenes,
             intensity=args.intensity,
             max_workers=args.workers,
+            ledger=ledger,
         )
     except ValueError as error:
         print(error)
@@ -381,11 +387,203 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     finally:
         if collector is not None:
             obs.disable()
+        if ledger is not None:
+            counts = ledger.counts()
+            ledger.close()
     print(report.render())
+    if ledger is not None:
+        print(
+            f"ledger {args.ledger}: {counts['rulings']} ruling(s), "
+            f"{counts['suppression_outcomes']} suppression outcome(s), "
+            f"{counts['custody_chains']} custody chain(s)"
+        )
     if collector is not None:
         obs.export.write_trace(args.trace_out, collector.spans)
         print(f"wrote {len(collector.spans)} span(s) to {args.trace_out}")
     return 0 if report.ok else 1
+
+
+def _open_ledger(path: str, must_exist: bool = True):
+    """Open a ledger file, or print why it cannot be opened."""
+    from pathlib import Path
+
+    from repro.ledger import Ledger, LedgerError
+
+    if must_exist and path != ":memory:" and not Path(path).exists():
+        print(f"no ledger at {path}; create one with 'repro ledger populate'")
+        return None
+    try:
+        return Ledger(path)
+    except LedgerError as error:
+        print(error)
+        return None
+
+
+def _cmd_ledger_populate(args: argparse.Namespace) -> int:
+    from repro.core import RulingCache
+    from repro.investigation.pipeline import InvestigationPipeline
+    from repro.workloads import action_corpus
+
+    ledger = _open_ledger(args.path, must_exist=False)
+    if ledger is None:
+        return 2
+    with ledger:
+        engine = ComplianceEngine(cache=RulingCache(), ledger=ledger)
+        pipeline = InvestigationPipeline(
+            engine=engine, ledger=ledger, run_label=args.label
+        )
+        scenarios = build_table1()
+        pipeline.run_all(scenarios, obtain_process=True)
+        pipeline.run_all(scenarios, obtain_process=False)
+        if args.corpus:
+            engine.evaluate_many(action_corpus(args.corpus, seed=args.seed))
+        counts = ledger.counts()
+    print(f"populated {args.path}:")
+    for table, n in counts.items():
+        print(f"  {table:22s} {n}")
+    return 0
+
+
+def _cmd_ledger_query(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.enums import ProcessKind
+    from repro.ledger import rulings_citing, search_reasoning
+
+    ledger = _open_ledger(args.path)
+    if ledger is None:
+        return 2
+    with ledger:
+        if args.fts:
+            rows = search_reasoning(ledger, args.fts, limit=args.limit)
+            if args.citing:
+                rows = [r for r in rows if args.citing in r.citations]
+            if args.suppressed:
+                rows = [
+                    r
+                    for r in rows
+                    if any(o != "admissible" for o in r.suppression_outcomes)
+                ]
+        else:
+            process = None
+            if args.process:
+                name = args.process.upper().replace("-", "_")
+                if name not in ProcessKind.__members__:
+                    print(
+                        "unknown process kind; choose from: "
+                        + ", ".join(k.name.lower() for k in ProcessKind)
+                    )
+                    return 2
+                process = ProcessKind[name]
+            rows = rulings_citing(
+                ledger,
+                authority_key=args.citing or None,
+                required_process=process,
+                suppressed=True if args.suppressed else None,
+                limit=args.limit,
+            )
+    if args.json:
+        print(json.dumps([row.to_dict() for row in rows], indent=2))
+    else:
+        for row in rows:
+            outcomes = ",".join(row.suppression_outcomes) or "-"
+            print(
+                f"{row.fingerprint_digest[:16]}  "
+                f"{row.required_process:22s} "
+                f"outcomes={outcomes:24s} "
+                f"cites={','.join(row.citations)}"
+            )
+        print(f"{len(rows)} ruling(s) matched")
+    if args.expect_rows and not rows:
+        return 1
+    return 0
+
+
+def _cmd_ledger_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.ledger import (
+        citation_histogram,
+        process_histogram,
+        suppression_histogram,
+    )
+
+    ledger = _open_ledger(args.path)
+    if ledger is None:
+        return 2
+    with ledger:
+        info = ledger.describe()
+        info["process_histogram"] = process_histogram(ledger)
+        info["citation_histogram"] = citation_histogram(ledger, limit=10)
+        info["suppression_histogram"] = suppression_histogram(ledger)
+    if args.json:
+        print(json.dumps(info, indent=2))
+        return 0
+    print(f"ledger {info['path']}")
+    print(
+        f"  schema v{info['schema_version']} "
+        f"(digest {info['schema_digest'][:12]}…) "
+        f"fts={'on' if info['fts_enabled'] else 'off'} "
+        f"size={info['size_bytes']} bytes"
+    )
+    for table, n in info["counts"].items():
+        print(f"  {table:22s} {n}")
+    print("  rulings by required process:")
+    for name, n in info["process_histogram"].items():
+        if n:
+            print(f"    {name:22s} {n}")
+    print("  most-cited authorities:")
+    for key, n in info["citation_histogram"].items():
+        print(f"    {key:28s} {n}")
+    if info["suppression_histogram"]:
+        print("  suppression outcomes:")
+        for outcome, n in info["suppression_histogram"].items():
+            print(f"    {outcome:22s} {n}")
+    return 0
+
+
+def _cmd_ledger_prime(args: argparse.Namespace) -> int:
+    from repro.core import RulingCache
+    from repro.workloads import action_corpus
+
+    ledger = _open_ledger(args.path)
+    if ledger is None:
+        return 2
+    with ledger:
+        cache = RulingCache(maxsize=2 * max(args.corpus, 1))
+        primed = ComplianceEngine(cache=cache, ledger=ledger)
+        n_primed = primed.prime_from_ledger()
+        print(f"primed {n_primed} ruling(s) from {args.path}")
+        if not args.verify:
+            return 0
+        corpus = action_corpus(args.corpus, seed=args.seed)
+        fresh = ComplianceEngine()
+        fresh_rulings = fresh.evaluate_many(corpus)
+        primed_rulings = primed.evaluate_many(corpus)
+        mismatches = sum(
+            f.to_dict() != p.to_dict() or f.explain() != p.explain()
+            for f, p in zip(fresh_rulings, primed_rulings)
+        )
+        hits = primed.cache_stats.hits
+    print(
+        f"differential over {len(corpus)} action(s) (seed {args.seed}): "
+        f"{mismatches} mismatch(es), {hits} served from the primed cache"
+    )
+    if mismatches:
+        print("LEDGER DIVERGENCE: primed rulings differ from fresh rulings")
+        return 1
+    return 0
+
+
+def _cmd_ledger_vacuum(args: argparse.Namespace) -> int:
+    ledger = _open_ledger(args.path)
+    if ledger is None:
+        return 2
+    with ledger:
+        before = ledger.describe()["size_bytes"]
+        after = ledger.vacuum()
+    print(f"vacuumed {args.path}: {before} -> {after} bytes")
+    return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -811,7 +1009,126 @@ def build_parser() -> argparse.ArgumentParser:
             "events) and write it (JSONL) here"
         ),
     )
+    chaos.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help=(
+            "persist every plan's rulings, dockets, custody, and "
+            "suppression outcomes to this ledger file (forces the "
+            "serial sweep path)"
+        ),
+    )
     chaos.set_defaults(func=_cmd_chaos)
+
+    ledger = subparsers.add_parser(
+        "ledger",
+        help="persistent legal ledger: populate, query, prime, maintain",
+    )
+    ledger_sub = ledger.add_subparsers(dest="ledger_command", required=True)
+
+    led_populate = ledger_sub.add_parser(
+        "populate",
+        help="run Table 1 both ways into a ledger (plus an optional corpus)",
+    )
+    led_populate.add_argument("path", help="ledger file (created if absent)")
+    led_populate.add_argument(
+        "--label",
+        default="populate",
+        help="run label namespacing this run's ledger keys",
+    )
+    led_populate.add_argument(
+        "--corpus",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also persist rulings for N random workload actions",
+    )
+    led_populate.add_argument(
+        "--seed", type=int, default=7, help="corpus seed for --corpus"
+    )
+    led_populate.set_defaults(func=_cmd_ledger_populate)
+
+    led_query = ledger_sub.add_parser(
+        "query", help="indexed/FTS queries over persisted rulings"
+    )
+    led_query.add_argument("path", help="ledger file")
+    led_query.add_argument(
+        "--citing",
+        default=None,
+        metavar="KEY",
+        help="only rulings citing this authority (e.g. sca_2703)",
+    )
+    led_query.add_argument(
+        "--process",
+        default=None,
+        metavar="KIND",
+        help="only rulings requiring this process (e.g. search-warrant)",
+    )
+    led_query.add_argument(
+        "--suppressed",
+        action="store_true",
+        help="only rulings with a granted-suppression outcome on file",
+    )
+    led_query.add_argument(
+        "--fts",
+        default=None,
+        metavar="QUERY",
+        help="full-text search over reasoning traces",
+    )
+    led_query.add_argument(
+        "--limit", type=int, default=None, help="cap returned rows"
+    )
+    led_query.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    led_query.add_argument(
+        "--expect-rows",
+        action="store_true",
+        help="exit 1 if the query matches nothing (CI gate)",
+    )
+    led_query.set_defaults(func=_cmd_ledger_query)
+
+    led_stats = ledger_sub.add_parser(
+        "stats", help="schema, table counts, and histograms"
+    )
+    led_stats.add_argument("path", help="ledger file")
+    led_stats.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    led_stats.set_defaults(func=_cmd_ledger_stats)
+
+    led_prime = ledger_sub.add_parser(
+        "prime",
+        help="warm a fresh engine's cache from the ledger; optionally "
+        "verify primed rulings against fresh ones",
+    )
+    led_prime.add_argument("path", help="ledger file")
+    led_prime.add_argument(
+        "--verify",
+        action="store_true",
+        help=(
+            "re-rule a random corpus fresh vs primed and exit 1 on any "
+            "payload or explain() divergence"
+        ),
+    )
+    led_prime.add_argument(
+        "--corpus",
+        type=int,
+        default=2000,
+        metavar="N",
+        help="differential corpus size for --verify",
+    )
+    led_prime.add_argument(
+        "--seed", type=int, default=7, help="differential corpus seed"
+    )
+    led_prime.set_defaults(func=_cmd_ledger_prime)
+
+    led_vacuum = ledger_sub.add_parser(
+        "vacuum", help="reclaim free pages; prints size before and after"
+    )
+    led_vacuum.add_argument("path", help="ledger file")
+    led_vacuum.set_defaults(func=_cmd_ledger_vacuum)
 
     bench = subparsers.add_parser(
         "bench",

@@ -33,7 +33,7 @@ from repro.core.caselaw import (
     build_default_registry,
 )
 from repro.core.context import EnvironmentContext
-from repro.core.engine import ComplianceEngine, evaluate
+from repro.core.engine import ComplianceEngine, RulingLedger, evaluate
 from repro.core.fingerprint import (
     ActionFingerprint,
     action_fingerprint,
@@ -110,6 +110,7 @@ __all__ = [
     "ResearchAdvisor",
     "Ruling",
     "RulingCache",
+    "RulingLedger",
     "Scenario",
     "ScopeDecision",
     "Standard",

@@ -19,7 +19,8 @@ citation-bearing reasoning trace.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable, Iterator
+from typing import Protocol, runtime_checkable
 
 from repro.core.action import InvestigativeAction
 from repro.core.cache import CacheStats, RulingCache
@@ -38,6 +39,28 @@ from repro.core.statutes import fourth_amendment, pentrap, sca, wiretap
 from repro.obs import OBS, span
 
 
+@runtime_checkable
+class RulingLedger(Protocol):
+    """What the engine needs from a persistence backend.
+
+    Duck-typed (satisfied by :class:`repro.ledger.Ledger`) so
+    :mod:`repro.core` never imports :mod:`repro.ledger` — the dependency
+    points the other way, exactly as with :mod:`repro.obs`.
+    """
+
+    def record_ruling(
+        self, fingerprint: tuple, ruling: Ruling
+    ) -> bool:
+        """Persist one freshly evaluated ruling; returns True if new."""
+        ...  # pragma: no cover - protocol
+
+    def iter_rulings(
+        self, limit: int | None = None
+    ) -> Iterator[tuple[tuple, Ruling]]:
+        """Stream persisted ``(fingerprint, ruling)`` pairs."""
+        ...  # pragma: no cover - protocol
+
+
 class ComplianceEngine:
     """Rules on investigative actions under the paper's legal framework.
 
@@ -54,17 +77,24 @@ class ComplianceEngine:
             engines, an ``int`` for a private LRU cache of that size, or
             ``None`` (the default) for no caching — every call evaluates
             from scratch, exactly as before caching existed.
+        ledger: Optional persistence backend (anything satisfying
+            :class:`RulingLedger`, e.g. :class:`repro.ledger.Ledger`).
+            Every *fresh* evaluation — never a cache hit, which by the
+            differential gate is byte-identical anyway — is recorded, and
+            :meth:`prime_from_ledger` warm-loads the cache at startup.
     """
 
     def __init__(
         self,
         registry: AuthorityRegistry | None = None,
         cache: RulingCache | int | None = None,
+        ledger: RulingLedger | None = None,
     ) -> None:
         self._registry = registry or build_default_registry()
         if isinstance(cache, int):
             cache = RulingCache(maxsize=cache)
         self._cache = cache
+        self._ledger = ledger
 
     @property
     def registry(self) -> AuthorityRegistry:
@@ -80,6 +110,69 @@ class ComplianceEngine:
     def cache_stats(self) -> CacheStats | None:
         """Hit/miss/eviction counters, or ``None`` for an uncached engine."""
         return self._cache.stats if self._cache is not None else None
+
+    @property
+    def ledger(self) -> RulingLedger | None:
+        """The persistence backend, or ``None`` for an ephemeral engine."""
+        return self._ledger
+
+    def prime_from_ledger(self, limit: int | None = None) -> int:
+        """Warm the ruling cache from the attached ledger.
+
+        Streams persisted rulings into the cache (most callers do this
+        once at startup, before the first evaluation) so previously
+        ruled actions become pure lookups in this process too.
+
+        Args:
+            limit: Optional cap on rulings loaded.
+
+        Returns:
+            The number of rulings loaded into the cache.
+
+        Raises:
+            ValueError: If the engine has no ledger or no cache — there
+                is nowhere to read from or nothing to warm.
+        """
+        if self._ledger is None:
+            raise ValueError("prime_from_ledger requires a ledger")
+        if self._cache is None:
+            raise ValueError("prime_from_ledger requires a cache to warm")
+        loaded = 0
+        for fingerprint, ruling in self._ledger.iter_rulings(limit=limit):
+            self._cache.put(fingerprint, ruling)
+            loaded += 1
+        if OBS.enabled:
+            OBS.registry.counter(
+                "repro_ledger_prime_rulings_total",
+                "Rulings warm-loaded into a cache from a ledger.",
+            ).inc(loaded)
+        return loaded
+
+    def _recording_evaluator(
+        self,
+    ) -> Callable[[InvestigativeAction], Ruling]:
+        """The fresh-evaluation callable, ledger recording included."""
+        if self._ledger is None:
+            return self._evaluate_uncached
+        evaluate_uncached = self._evaluate_uncached
+        record = self._record_to_ledger
+
+        def evaluate_and_record(action: InvestigativeAction) -> Ruling:
+            ruling = evaluate_uncached(action)
+            record(action_fingerprint(action), ruling)
+            return ruling
+
+        return evaluate_and_record
+
+    def _record_to_ledger(self, fingerprint: tuple, ruling: Ruling) -> None:
+        """Persist one fresh ruling, counting the write when traced."""
+        assert self._ledger is not None
+        self._ledger.record_ruling(fingerprint, ruling)
+        if OBS.enabled:
+            OBS.registry.counter(
+                "repro_ledger_ruling_writes_total",
+                "Fresh rulings recorded to a ledger by the engine.",
+            ).inc()
 
     def evaluate(self, action: InvestigativeAction) -> Ruling:
         """Produce a :class:`Ruling` for one investigative action.
@@ -110,12 +203,14 @@ class ComplianceEngine:
     def _evaluate_impl(self, action: InvestigativeAction) -> Ruling:
         """The cache-consulting single-action path, telemetry-free."""
         if self._cache is None:
-            return self._evaluate_uncached(action)
+            return self._recording_evaluator()(action)
         fingerprint = action_fingerprint(action)
         ruling = self._cache.get(fingerprint)
         if ruling is None:
             ruling = self._evaluate_uncached(action)
             self._cache.put(fingerprint, ruling)
+            if self._ledger is not None:
+                self._record_to_ledger(fingerprint, ruling)
         return ruling
 
     def evaluate_many(
@@ -160,10 +255,12 @@ class ComplianceEngine:
                 if ruling is None:
                     ruling = self._evaluate_uncached(action)
                     memo[fingerprint] = ruling
+                    if self._ledger is not None:
+                        self._record_to_ledger(fingerprint, ruling)
                 rulings.append(ruling)
             return rulings
         return self._cache.get_or_compute(
-            actions, action_fingerprint, self._evaluate_uncached
+            actions, action_fingerprint, self._recording_evaluator()
         )
 
     def _evaluate_uncached(self, action: InvestigativeAction) -> Ruling:

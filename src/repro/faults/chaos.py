@@ -25,6 +25,7 @@ import dataclasses
 import os
 import random
 from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING
 
 from repro import obs
 from repro.anonymity.onion import OnionNetwork
@@ -48,6 +49,9 @@ from repro.techniques.watermark import (
     PnCode,
     WatermarkConfig,
 )
+
+if TYPE_CHECKING:  # annotation-only; chaos must not hard-import ledger
+    from repro.ledger import Ledger
 
 #: Lag between instrument issuance and execution in chaos runs; long
 #: enough that an injected short-validity instrument expires inside it.
@@ -160,10 +164,17 @@ def run_plan(
     scenarios: tuple[Scenario, ...],
     intensity: float = 0.15,
     engine: ComplianceEngine | None = None,
+    ledger: "Ledger | None" = None,
 ) -> PlanResult:
-    """Run every experiment under one randomized fault plan."""
+    """Run every experiment under one randomized fault plan.
+
+    With a ``ledger`` attached, the pipeline persists every scene's
+    docket/instrument/custody/suppression records under the
+    ``chaos/seed-<seed>`` namespace; pair with a ledger-bearing engine
+    to persist the rulings themselves.
+    """
     with obs.span("chaos.plan", seed=seed, intensity=intensity) as sp:
-        result = _run_plan_impl(seed, scenarios, intensity, engine)
+        result = _run_plan_impl(seed, scenarios, intensity, engine, ledger)
         sp.set(ok=result.ok, faults=result.faults_fired)
     return result
 
@@ -173,6 +184,7 @@ def _run_plan_impl(
     scenarios: tuple[Scenario, ...],
     intensity: float,
     engine: ComplianceEngine | None,
+    ledger: "Ledger | None" = None,
 ) -> PlanResult:
     plan = FaultPlan.randomized(seed, intensity=intensity)
     injector = FaultInjector(plan)
@@ -191,6 +203,8 @@ def _run_plan_impl(
         engine=engine,
         injector=injector,
         acquisition_lag=_ACQUISITION_LAG,
+        ledger=ledger,
+        run_label=f"chaos/seed-{seed}",
     )
     non_comply = pipeline.run_all(scenarios, obtain_process=False)
     split = suppression_split(non_comply)
@@ -375,6 +389,7 @@ def run_chaos(
     scenes: str = "all",
     intensity: float = 0.15,
     max_workers: int | None = None,
+    ledger: "Ledger | None" = None,
 ) -> ChaosReport:
     """Run ``n_plans`` chaos plans and the determinism replay check.
 
@@ -389,11 +404,19 @@ def run_chaos(
     are returned in seed order and are identical either way; the replay
     check always runs in-process, so a pool-scheduling bug cannot mask a
     determinism failure.
+
+    With a ``ledger`` attached the sweep runs serially — a SQLite handle
+    does not cross process boundaries — and every plan persists its
+    rulings, dockets, custody chains, and suppression outcomes.  The
+    replay plan deliberately gets no ledger: replay verifies
+    determinism, it does not produce new facts.
     """
     if n_plans < 1:
         raise ValueError(f"n_plans must be >= 1: {n_plans}")
     scenarios = select_scenes(scenes)
     workers = resolve_workers(max_workers, n_plans)
+    if ledger is not None:
+        workers = 1
     if workers > 1:
         tasks = [
             (seed + offset, scenes, intensity) for offset in range(n_plans)
@@ -407,11 +430,13 @@ def run_chaos(
             else:
                 results = tuple(pool.map(_plan_worker, tasks))
     else:
-        engine = ComplianceEngine(cache=RulingCache())
+        engine = ComplianceEngine(cache=RulingCache(), ledger=ledger)
         results = tuple(
-            run_plan(seed + offset, scenarios, intensity, engine)
+            run_plan(seed + offset, scenarios, intensity, engine, ledger)
             for offset in range(n_plans)
         )
+        if ledger is not None:
+            ledger.commit()
     replay = run_plan(
         seed, scenarios, intensity, ComplianceEngine(cache=RulingCache())
     )

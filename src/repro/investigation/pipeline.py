@@ -17,6 +17,7 @@ hearing rules on what actually happened.
 from __future__ import annotations
 
 import dataclasses
+from typing import TYPE_CHECKING
 
 from repro import obs
 from repro.core.engine import ComplianceEngine
@@ -33,6 +34,9 @@ from repro.faults.injector import FaultInjector
 from repro.faults.retry import RetryPolicy
 from repro.investigation.case import Case
 from repro.investigation.investigator import Investigator
+
+if TYPE_CHECKING:  # annotation-only; repro.core must not import repro.ledger
+    from repro.ledger import Ledger
 
 
 @dataclasses.dataclass(frozen=True)
@@ -89,6 +93,13 @@ class InvestigationPipeline:
             executing the acquisition (warrants are not executed the
             second they issue); this is the window an injected
             short-validity instrument expires in.
+        ledger: Optional :class:`repro.ledger.Ledger`; every scene then
+            persists its issued instrument, chain of custody, and
+            suppression outcome at the same boundaries telemetry spans
+            them, and the docket's counters are upserted per scene.
+        run_label: Namespace prefix for the ledger keys this pipeline
+            writes (lets several runs share one ledger file without
+            colliding); defaults to ``"pipeline"``.
     """
 
     def __init__(
@@ -98,10 +109,14 @@ class InvestigationPipeline:
         injector: FaultInjector | None = None,
         retry_policy: RetryPolicy | None = None,
         acquisition_lag: float = 0.0,
+        ledger: "Ledger | None" = None,
+        run_label: str = "pipeline",
     ) -> None:
         if acquisition_lag < 0:
             raise ValueError(f"negative acquisition_lag: {acquisition_lag}")
         self.engine = engine or ComplianceEngine()
+        self.ledger = ledger
+        self.run_label = run_label
         self.injector = injector
         if magistrate is None:
             magistrate = Magistrate(injector=injector)
@@ -223,7 +238,7 @@ class InvestigationPipeline:
                 [evidence], custody={evidence.evidence_id: custody}
             )
             sp.set(admissibility=outcome.outcome_for(evidence).name)
-        return SceneOutcome(
+        scene_outcome = SceneOutcome(
             scenario=scenario,
             ruling=ruling,
             process_obtained=obtained,
@@ -233,6 +248,52 @@ class InvestigationPipeline:
             application_attempts=attempts,
             interruptions=tuple(interruptions),
         )
+        if self.ledger is not None:
+            self._persist_scene(scene_outcome, obtain_process, instrument)
+        return scene_outcome
+
+    def _persist_scene(
+        self,
+        outcome: SceneOutcome,
+        obtain_process: bool,
+        instrument: IssuedProcess | None,
+    ) -> None:
+        """Write one scene's records to the attached ledger.
+
+        Runs at the same boundary the suppression span closes, so what
+        is persisted is exactly what the hearing ruled on.  Keys are
+        deterministic (`run_label`/scene/mode), making re-runs of the
+        same configuration idempotent upserts.
+        """
+        ledger = self.ledger
+        assert ledger is not None
+        mode = "comply" if obtain_process else "no-process"
+        scene_key = (
+            f"{self.run_label}/scene-{outcome.scenario.number}/{mode}"
+        )
+        fingerprint = outcome.scenario.action.fingerprint()
+        ledger.record_ruling(fingerprint, outcome.ruling)
+        docket = self.magistrate.docket
+        docket_key = f"{self.run_label}/docket-{docket.docket_id}"
+        ledger.record_docket(docket_key, docket)
+        if instrument is not None:
+            ledger.record_instrument(
+                f"{scene_key}/instrument", instrument, docket_key=docket_key
+            )
+        if outcome.custody is not None:
+            ledger.record_custody(f"{scene_key}/custody", outcome.custody)
+        ledger.record_suppression(
+            evidence_key=f"{scene_key}/evidence",
+            fingerprint=fingerprint,
+            outcome=outcome.admissibility.value,
+            reason="; ".join(outcome.interruptions),
+            run_label=self.run_label,
+        )
+        if obs.OBS.enabled:
+            obs.OBS.registry.counter(
+                "repro_ledger_scene_writes_total",
+                "Scene outcomes persisted to a ledger by the pipeline.",
+            ).inc()
 
     def _obtain_process(
         self,

@@ -209,6 +209,42 @@ def bind_ruling_cache(
     )
 
 
+class LedgerStatsLike(Protocol):
+    """What :func:`bind_ledger` needs from a ledger stats object."""
+
+    ruling_writes: int
+    ruling_duplicates: int
+    primed_rulings: int
+
+
+def bind_ledger(stats: LedgerStatsLike, name: str = "ledger") -> None:
+    """Absorb ledger session counters into the registry as gauges.
+
+    Duck-typed on the stats object so :mod:`repro.obs` never imports
+    :mod:`repro.ledger`; like :func:`bind_ruling_cache`, the ledger pays
+    nothing per write — values are read only when the registry renders.
+    """
+    labels: dict[str, object] = {"ledger": name}
+    OBS.registry.gauge_fn(
+        "repro_ledger_ruling_writes",
+        lambda: float(stats.ruling_writes),
+        "Fresh rulings this ledger handle inserted.",
+        labels,
+    )
+    OBS.registry.gauge_fn(
+        "repro_ledger_ruling_duplicates",
+        lambda: float(stats.ruling_duplicates),
+        "Ruling writes skipped as already present.",
+        labels,
+    )
+    OBS.registry.gauge_fn(
+        "repro_ledger_primed_rulings",
+        lambda: float(stats.primed_rulings),
+        "Rulings streamed out of the ledger to warm a cache.",
+        labels,
+    )
+
+
 __all__ = [
     "ACQUISITION_SPAN",
     "DEFAULT_BUCKETS",
@@ -226,6 +262,7 @@ __all__ = [
     "TraceCollector",
     "acquisition_spans",
     "audit",
+    "bind_ledger",
     "bind_ruling_cache",
     "clock",
     "disable",

@@ -27,6 +27,7 @@ from __future__ import annotations
 import dataclasses
 import random
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro import obs
 from repro.analysis.plan_checker import PlanAnalyzer, PlanReport
@@ -63,6 +64,9 @@ from repro.workflow.report import (
     render_report,
 )
 from repro.workflow.spec import OnFailure, StepSpec, WorkflowSpec
+
+if TYPE_CHECKING:  # annotation-only; workflow must not hard-import ledger
+    from repro.ledger import Ledger
 
 
 class WorkflowLegalityError(Exception):
@@ -109,10 +113,14 @@ class WorkflowEngine:
     """Runs one :class:`~repro.workflow.spec.WorkflowSpec` to completion."""
 
     def __init__(
-        self, spec: WorkflowSpec, custodian: str = "workflow-engine"
+        self,
+        spec: WorkflowSpec,
+        custodian: str = "workflow-engine",
+        ledger: "Ledger | None" = None,
     ) -> None:
         self.spec = spec
         self.custodian = custodian
+        self.ledger = ledger
         self._analyzer = PlanAnalyzer()
 
     # -- public API --------------------------------------------------------------
@@ -250,6 +258,8 @@ class WorkflowEngine:
                 self._check_complete_marker(
                     completed_marker, state, report_text
                 )
+            if self.ledger is not None:
+                self._persist_run(subject, seed, state)
 
         return RunResult(
             workflow=self.spec.name,
@@ -534,6 +544,34 @@ class WorkflowEngine:
             detail=reason,
             finished_at=state.clock.now,
         )
+
+    def _persist_run(
+        self, subject: Subject, seed: int, state: _RunState
+    ) -> None:
+        """Persist custody and the suppression verdict to the ledger.
+
+        Runs at the same boundary the run-complete journal record is
+        written (or re-verified on resume), so the ledger and journal
+        always agree on what the run produced.  Keys are deterministic
+        in (workflow, subject, seed): resuming or replaying a run
+        upserts rather than duplicating.
+        """
+        ledger = self.ledger
+        assert ledger is not None
+        run_key = f"workflow/{self.spec.name}/{subject.subject_id}/seed-{seed}"
+        ledger.record_custody(f"{run_key}/custody", state.custody)
+        ledger.record_suppression(
+            evidence_key=f"{run_key}/evidence",
+            fingerprint=subject.action.fingerprint(),
+            outcome="suppressed" if state.suppressed else "admissible",
+            reason=state.suppression_reason,
+            run_label=run_key,
+        )
+        if obs.OBS.enabled:
+            obs.OBS.registry.counter(
+                "repro_ledger_workflow_writes_total",
+                "Workflow runs persisted to a ledger by the engine.",
+            ).inc()
 
     # -- journal records ---------------------------------------------------------
 

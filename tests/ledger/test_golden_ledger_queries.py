@@ -1,0 +1,186 @@
+"""Golden-file regression: ledger query answers must not drift silently.
+
+``tests/data/golden_ledger_queries.json`` pins the answers to ten
+representative indexed/FTS queries over a deterministic ledger: the 20
+Table 1 scenes run both ways through a ledger-bearing pipeline (run
+label ``golden``) plus the 5,000-action seed-99 workload corpus — the
+same corpus the label-golden test pins.  Each ruling query is stored as
+a row count plus a SHA-256 digest over the ordered fingerprint digests;
+histograms are stored verbatim, and the schema digest is pinned so DDL
+drift fails loudly too.
+
+Regenerate after an intentional schema/rule change::
+
+    PYTHONPATH=src python tests/ledger/test_golden_ledger_queries.py
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import ComplianceEngine, RulingCache, build_table1
+from repro.investigation.pipeline import InvestigationPipeline
+from repro.ledger import (
+    Ledger,
+    citation_histogram,
+    process_histogram,
+    rulings_citing,
+    schema_digest,
+    search_reasoning,
+    suppression_histogram,
+)
+from repro.workloads import action_corpus
+
+GOLDEN_PATH = (
+    Path(__file__).parent.parent / "data" / "golden_ledger_queries.json"
+)
+CORPUS_SIZE = 5000
+SEED = 99
+
+#: The pinned indexed queries: name -> rulings_citing(**kwargs).
+INDEXED_QUERIES = {
+    "citing_sca_2703": {"authority_key": "sca_2703"},
+    "citing_sca_2703_suppressed": {
+        "authority_key": "sca_2703",
+        "suppressed": True,
+    },
+    "citing_katz": {"authority_key": "katz"},
+    "requires_search_warrant": {"required_process": "SEARCH_WARRANT"},
+    "requires_wiretap_order": {"required_process": "WIRETAP_ORDER"},
+    "no_process_never_suppressed": {
+        "required_process": "NONE",
+        "suppressed": False,
+    },
+    "suppressed_anywhere": {"suppressed": True},
+}
+
+#: The pinned full-text queries (quoted phrases, so the FTS5 and
+#: portable-scan paths agree on membership).
+FTS_QUERIES = {
+    "fts_probable_cause": '"probable cause"',
+    "fts_wiretap_order": '"wiretap order"',
+    "fts_third_party": '"third party"',
+}
+
+
+def build_golden_ledger() -> Ledger:
+    """The deterministic ledger every pinned query runs over."""
+    ledger = Ledger(":memory:")
+    engine = ComplianceEngine(cache=RulingCache(), ledger=ledger)
+    pipeline = InvestigationPipeline(
+        engine=engine, ledger=ledger, run_label="golden"
+    )
+    scenarios = build_table1()
+    pipeline.run_all(scenarios, obtain_process=True)
+    pipeline.run_all(scenarios, obtain_process=False)
+    engine.evaluate_many(action_corpus(CORPUS_SIZE, seed=SEED))
+    return ledger
+
+
+def _rows_summary(rows) -> dict:
+    digests = [row.fingerprint_digest for row in rows]
+    return {
+        "count": len(digests),
+        "digest": hashlib.sha256(
+            "\n".join(digests).encode("utf-8")
+        ).hexdigest(),
+    }
+
+
+def compute_results(ledger: Ledger) -> dict:
+    """Every pinned answer, in fixture shape."""
+    results: dict = {
+        "schema_digest": schema_digest(),
+        "corpus_size": CORPUS_SIZE,
+        "seed": SEED,
+        "counts": ledger.counts(),
+        "queries": {},
+        "fts_queries": {},
+        "process_histogram": process_histogram(ledger),
+        "citation_histogram": citation_histogram(ledger),
+        "suppression_histogram": suppression_histogram(ledger),
+    }
+    for name, kwargs in INDEXED_QUERIES.items():
+        results["queries"][name] = _rows_summary(
+            rulings_citing(ledger, **kwargs)
+        )
+    for name, query in FTS_QUERIES.items():
+        results["fts_queries"][name] = _rows_summary(
+            search_reasoning(ledger, query)
+        )
+    return results
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+@pytest.fixture(scope="module")
+def ledger():
+    led = build_golden_ledger()
+    yield led
+    led.close()
+
+
+class TestGoldenLedgerQueries:
+    def test_schema_digest_matches(self, golden):
+        assert schema_digest() == golden["schema_digest"], (
+            "the ledger DDL changed; if intentional, bump/regenerate "
+            "tests/data/golden_ledger_queries.json and docs/ledger.md"
+        )
+
+    def test_counts_match(self, golden, ledger):
+        assert ledger.counts() == golden["counts"]
+
+    def test_indexed_queries_match(self, golden, ledger):
+        for name, kwargs in INDEXED_QUERIES.items():
+            summary = _rows_summary(rulings_citing(ledger, **kwargs))
+            assert summary == golden["queries"][name], (
+                f"indexed query {name!r} drifted from the golden file"
+            )
+
+    def test_fts_queries_match(self, golden, ledger):
+        if not ledger.fts_enabled:
+            pytest.skip("linked SQLite lacks FTS5")
+        for name, query in FTS_QUERIES.items():
+            summary = _rows_summary(search_reasoning(ledger, query))
+            assert summary == golden["fts_queries"][name], (
+                f"FTS query {name!r} drifted from the golden file"
+            )
+
+    def test_histograms_match(self, golden, ledger):
+        assert process_histogram(ledger) == golden["process_histogram"]
+        assert citation_histogram(ledger) == golden["citation_histogram"]
+        assert (
+            suppression_histogram(ledger)
+            == golden["suppression_histogram"]
+        )
+
+    def test_golden_file_is_internally_consistent(self, golden):
+        assert golden["corpus_size"] == CORPUS_SIZE
+        assert golden["seed"] == SEED
+        int(golden["schema_digest"], 16)
+        for summary in {
+            **golden["queries"],
+            **golden["fts_queries"],
+        }.values():
+            assert summary["count"] >= 0
+            assert len(summary["digest"]) == 64
+        # The headline query the CLI gate runs must be non-empty.
+        assert golden["queries"]["citing_sca_2703_suppressed"]["count"] > 0
+
+
+if __name__ == "__main__":  # pragma: no cover - regeneration entry point
+    led = build_golden_ledger()
+    try:
+        GOLDEN_PATH.write_text(
+            json.dumps(compute_results(led), indent=2, sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
+    finally:
+        led.close()
+    print(f"wrote {GOLDEN_PATH}")

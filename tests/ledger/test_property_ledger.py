@@ -1,0 +1,217 @@
+"""Property-based tests (hypothesis) for ledger persistence.
+
+The ledger's contract is *lossless canonical persistence*:
+
+* persist → reload is byte-identical in canonical form for every record
+  family (rulings, instruments, custody chains, suppression outcomes);
+* query results are a pure function of ledger contents — inserting the
+  same rulings in any order answers every query identically, FTS
+  included.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Actor,
+    ComplianceEngine,
+    ConsentFacts,
+    ConsentScope,
+    DataKind,
+    DoctrineFacts,
+    EnvironmentContext,
+    InvestigativeAction,
+    Place,
+    ProcessKind,
+    Timing,
+)
+from repro.core.fingerprint import action_fingerprint
+from repro.court.docket import IssuedProcess
+from repro.evidence.custody import ChainOfCustody, CustodyEntry
+from repro.evidence.items import EvidenceItem
+from repro.ledger import (
+    Ledger,
+    citation_histogram,
+    process_histogram,
+    ruling_to_json,
+    rulings_citing,
+    search_reasoning,
+)
+
+_ENGINE = ComplianceEngine()
+
+contexts = st.builds(
+    EnvironmentContext,
+    place=st.sampled_from(list(Place)),
+    encrypted=st.booleans(),
+    knowingly_exposed=st.booleans(),
+    shared_with_others=st.booleans(),
+    delivered_to_recipient=st.booleans(),
+    provider_serves_public=st.none() | st.booleans(),
+    policy_eliminates_rep=st.booleans(),
+    home_interior=st.booleans(),
+    technology_in_general_public_use=st.booleans(),
+    abandoned=st.booleans(),
+)
+
+consents = st.builds(
+    ConsentFacts,
+    scope=st.sampled_from(list(ConsentScope)),
+    voluntary=st.booleans(),
+    exceeds_authority=st.booleans(),
+    revoked=st.booleans(),
+    covers_target_data=st.booleans(),
+)
+
+doctrines = st.builds(
+    DoctrineFacts,
+    exigent_circumstances=st.booleans(),
+    plain_view=st.booleans(),
+    target_on_probation=st.booleans(),
+    emergency_pen_trap=st.booleans(),
+    hash_search_of_lawful_media=st.booleans(),
+    mining_of_lawful_data=st.booleans(),
+    credentials_lawfully_obtained=st.booleans(),
+    monitoring_own_network=st.booleans(),
+    victim_invited_monitoring=st.booleans(),
+)
+
+actions = st.builds(
+    InvestigativeAction,
+    description=st.just("generated action"),
+    actor=st.sampled_from(list(Actor)),
+    data_kind=st.sampled_from(list(DataKind)),
+    timing=st.sampled_from(list(Timing)),
+    context=contexts,
+    consent=consents,
+    doctrine=doctrines,
+)
+
+printable = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")), max_size=40
+)
+
+instruments = st.builds(
+    IssuedProcess,
+    kind=st.sampled_from(list(ProcessKind)),
+    issued_to=printable,
+    issued_at=st.floats(0, 1e6, allow_nan=False),
+    expires_at=st.floats(0, 1e6, allow_nan=False),
+    scope=printable,
+    revoked=st.booleans(),
+)
+
+#: (delay, event-text) pairs; delays accumulate so chain time is
+#: monotone, which ChainOfCustody enforces.
+custody_events = st.lists(
+    st.tuples(st.floats(0, 1e3, allow_nan=False), printable), max_size=8
+)
+
+
+@given(actions)
+@settings(max_examples=150, deadline=None)
+def test_ruling_persist_reload_is_byte_identical(action):
+    fingerprint = action_fingerprint(action)
+    ruling = _ENGINE.evaluate(action)
+    with Ledger(":memory:") as ledger:
+        ledger.record_ruling(fingerprint, ruling)
+        reloaded = ledger.ruling_for(fingerprint)
+    assert reloaded == ruling
+    assert ruling_to_json(reloaded) == ruling_to_json(ruling)
+    assert reloaded.explain() == ruling.explain()
+
+
+@given(instruments)
+@settings(max_examples=150, deadline=None)
+def test_instrument_persist_reload_preserves_every_field(instrument):
+    with Ledger(":memory:") as ledger:
+        ledger.record_instrument("key", instrument)
+        reloaded = ledger.instrument_for("key")
+    assert reloaded.kind is instrument.kind
+    assert reloaded.issued_to == instrument.issued_to
+    assert reloaded.issued_at == instrument.issued_at
+    assert reloaded.expires_at == instrument.expires_at
+    assert reloaded.scope == instrument.scope
+    assert reloaded.revoked == instrument.revoked
+
+
+@given(actions, custody_events)
+@settings(max_examples=100, deadline=None)
+def test_custody_persist_reload_is_entry_identical(action, events):
+    item = EvidenceItem(
+        description="generated evidence",
+        content="payload",
+        acquired_by="custodian",
+        acquired_at=0.0,
+        action=action,
+        process_held=ProcessKind.NONE,
+    )
+    chain = ChainOfCustody(item, custodian="custodian", time=0.0)
+    now = 0.0
+    for delay, text in events:
+        now += delay
+        chain.record_event(text or "event", time=now)
+    with Ledger(":memory:") as ledger:
+        ledger.record_custody("item", chain)
+        record = ledger.custody_for("item")
+    assert record.entries == tuple(chain.entries)
+    assert all(isinstance(entry, CustodyEntry) for entry in record.entries)
+
+
+@given(
+    actions,
+    st.sampled_from(["admissible", "suppressed", "suppressed_derivative"]),
+    printable,
+    printable,
+)
+@settings(max_examples=100, deadline=None)
+def test_suppression_persist_reload_is_identical(
+    action, outcome, reason, run_label
+):
+    fingerprint = action_fingerprint(action)
+    with Ledger(":memory:") as ledger:
+        ledger.record_suppression(
+            "key", fingerprint, outcome, reason=reason, run_label=run_label
+        )
+        record = ledger.suppression_for("key")
+    assert record.outcome == outcome
+    assert record.reason == reason
+    assert record.run_label == run_label
+
+
+@given(
+    st.lists(actions, min_size=2, max_size=12, unique_by=id),
+    st.randoms(use_true_random=False),
+)
+@settings(max_examples=50, deadline=None)
+def test_queries_stable_under_insertion_order_permutation(batch, rng):
+    """Shuffling insertion order never changes any query's answer."""
+    rulings = [
+        (action_fingerprint(a), _ENGINE.evaluate(a)) for a in batch
+    ]
+    shuffled = list(rulings)
+    rng.shuffle(shuffled)
+
+    def load(pairs):
+        ledger = Ledger(":memory:")
+        for fingerprint, ruling in pairs:
+            ledger.record_ruling(fingerprint, ruling)
+        return ledger
+
+    with load(rulings) as first, load(shuffled) as second:
+        assert [r.to_dict() for r in rulings_citing(first)] == [
+            r.to_dict() for r in rulings_citing(second)
+        ]
+        assert process_histogram(first) == process_histogram(second)
+        assert citation_histogram(first) == citation_histogram(second)
+        for query in ("warrant", "probable cause", "subpoena"):
+            assert [
+                r.fingerprint_digest
+                for r in search_reasoning(first, f'"{query}"')
+            ] == [
+                r.fingerprint_digest
+                for r in search_reasoning(second, f'"{query}"')
+            ]
+        assert [fp for fp, __ in first.iter_rulings()] == [
+            fp for fp, __ in second.iter_rulings()
+        ]
