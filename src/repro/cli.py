@@ -11,6 +11,8 @@ Usage::
     python -m repro analyze-plan table1   # static plan analysis
     python -m repro chaos --seed 7        # paper invariants under faults
     python -m repro bench --quick         # engine benchmarks -> BENCH_engine.json
+    python -m repro serve                 # sharded ruling server + /metrics
+    python -m repro serve-bench --quick   # server load test -> BENCH_serve.json
     python -m repro metrics               # Prometheus text from a traced replay
     python -m repro trace --audit         # spans + authorizing instruments
     python -m repro workflow run photo-recovery --seed 7
@@ -623,6 +625,92 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.serve.server import RulingServer, ServerConfig
+
+    try:
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            metrics_port=args.metrics_port,
+            n_shards=args.shards,
+            cache_size=args.cache_size,
+            max_pending_batches=args.max_pending,
+            policy=args.policy,
+            ledger_path=args.ledger,
+            prime=args.prime,
+        )
+    except ValueError as error:
+        print(error)
+        return 1
+
+    async def _serve() -> None:
+        server = RulingServer(config)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum,
+                    lambda: asyncio.ensure_future(server.stop()),
+                )
+            except NotImplementedError:  # pragma: no cover - non-Unix
+                pass
+        host, port = server.address
+        metrics_host, metrics_port = server.metrics_address
+        print(f"repro serve: NDJSON on {host}:{port}")
+        print(
+            f"repro serve: metrics on "
+            f"http://{metrics_host}:{metrics_port}/metrics"
+        )
+        print(
+            f"repro serve: {config.n_shards} shards x "
+            f"{config.cache_size} cache entries, policy {config.policy}"
+            + (f", ledger {config.ledger_path}" if config.ledger_path else "")
+            + (
+                f", primed {server.primed_rulings} rulings"
+                if config.prime
+                else ""
+            ),
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("repro serve: interrupted, shutting down")
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serve.bench import render_serve_report, run_serve_bench
+
+    try:
+        report, ok = run_serve_bench(
+            quick=args.quick,
+            connect=args.connect,
+            n_shards=args.shards,
+            policy=args.policy,
+            batch_size=args.batch_size,
+            depth=args.depth,
+            target_rps=args.rps,
+            out=args.out,
+        )
+    except (OSError, RuntimeError, ValueError) as error:
+        print(f"serve-bench failed: {error}")
+        return 1
+    print(render_serve_report(report))
+    print(f"wrote {args.out}")
+    return 0 if ok else 1
+
+
 def _write_bench_trace(args: argparse.Namespace) -> None:
     """Honor ``bench --trace-out``: a traced Table 1 replay, run *after*
     the benchmark so tracing cannot taint any measurement."""
@@ -1174,6 +1262,120 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     bench.set_defaults(func=_cmd_bench)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="long-running sharded ruling server (NDJSON + /metrics)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address for both listeners"
+    )
+    serve.add_argument(
+        "--port", type=int, default=7341, help="NDJSON port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=7342,
+        help="HTTP /metrics port (0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="number of private cache+engine shards",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=4096,
+        help="per-shard LRU ruling-cache capacity",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="per-connection bound on in-flight rule batches",
+    )
+    serve.add_argument(
+        "--policy",
+        choices=["queue", "shed"],
+        default="queue",
+        help=(
+            "backpressure when a connection is full: queue (pause socket "
+            "reads) or shed (answer with an overload error)"
+        ),
+    )
+    serve.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help="persist fresh rulings to this SQLite ledger",
+    )
+    serve.add_argument(
+        "--prime",
+        action="store_true",
+        help="warm every shard's cache from the ledger at startup",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    serve_bench = subparsers.add_parser(
+        "serve-bench",
+        help=(
+            "load-generate the ruling server + byte-differential gate "
+            "-> BENCH_serve.json"
+        ),
+    )
+    serve_bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="5k-action golden corpus instead of the 10k differential one",
+    )
+    serve_bench.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "bench an already-running server instead of spawning one "
+            "in-process on an ephemeral port"
+        ),
+    )
+    serve_bench.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="shards for the spawned in-process server",
+    )
+    serve_bench.add_argument(
+        "--policy",
+        choices=["queue", "shed"],
+        default="queue",
+        help="backpressure policy for the spawned in-process server",
+    )
+    serve_bench.add_argument(
+        "--batch-size",
+        type=int,
+        default=250,
+        help="actions per rule request",
+    )
+    serve_bench.add_argument(
+        "--depth",
+        type=int,
+        default=8,
+        help="pipelined requests kept in flight",
+    )
+    serve_bench.add_argument(
+        "--rps",
+        type=float,
+        default=None,
+        help="target offered load in rulings/second (default: closed loop)",
+    )
+    serve_bench.add_argument(
+        "--out",
+        default="BENCH_serve.json",
+        help="where to write the JSON report",
+    )
+    serve_bench.set_defaults(func=_cmd_serve_bench)
 
     metrics = subparsers.add_parser(
         "metrics",

@@ -24,9 +24,13 @@ from collections.abc import Callable, Iterator, Sequence
 _NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
 _LABEL_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
 
-#: Default histogram bucket upper bounds (seconds): 1 µs .. 10 s in a
-#: 1-2.5-5 ladder, suited to both cached-lookup and full-pipeline spans.
+#: Default histogram bucket upper bounds (seconds): 100 ns .. 10 s in a
+#: 1-2.5-5 ladder.  The sub-microsecond decade exists because cached
+#: rulings complete in ~2 µs and cached *lookups* in well under 1 µs —
+#: without it every hot-path observation lands in the lowest bucket and
+#: p50 collapses to the bucket edge instead of interpolating.
 DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-7, 2.5e-7, 5e-7,
     1e-6, 2.5e-6, 5e-6,
     1e-5, 2.5e-5, 5e-5,
     1e-4, 2.5e-4, 5e-4,
@@ -130,11 +134,14 @@ class Gauge:
 
 
 class CallbackGauge:
-    """A gauge whose value is read from a callable at render time.
+    """A gauge whose values are read from callables at render time.
 
     This is the zero-hot-path-cost absorption mechanism: binding the
     ruling cache's hit counter costs one closure here and nothing per
-    cache operation.
+    cache operation.  One instrument holds one callback *per label set*,
+    so N server shards can each bind their private cache under the same
+    metric name with a distinguishing ``shard`` label — re-binding an
+    existing label set replaces that callback only.
     """
 
     kind = "gauge"
@@ -148,14 +155,35 @@ class CallbackGauge:
     ) -> None:
         self.name = _check_name(name)
         self.help_text = help_text
-        self._fn = fn
-        self._labels = _label_key(labels or {})
+        self._callbacks: dict[LabelKey, Callable[[], float]] = {
+            _label_key(labels or {}): fn
+        }
 
-    def value(self) -> float:
-        return float(self._fn())
+    def add_callback(
+        self,
+        fn: Callable[[], float],
+        labels: dict[str, object] | None = None,
+    ) -> None:
+        """Bind ``fn`` under ``labels``, replacing any same-labelled one."""
+        self._callbacks[_label_key(labels or {})] = fn
+
+    def value(self, **labels: object) -> float:
+        """The live value for a label set (the sole one when unlabelled)."""
+        key = _label_key(labels)
+        if key not in self._callbacks and not labels:
+            if len(self._callbacks) != 1:
+                raise KeyError(
+                    f"callback gauge {self.name!r} has "
+                    f"{len(self._callbacks)} label sets; specify one"
+                )
+            key = next(iter(self._callbacks))
+        return float(self._callbacks[key]())
 
     def samples(self) -> Iterator[str]:
-        yield _format_sample(self.name, self._labels, self.value())
+        for key in sorted(self._callbacks):
+            yield _format_sample(
+                self.name, key, float(self._callbacks[key]())
+            )
 
 
 class Histogram:
@@ -320,14 +348,25 @@ class MetricsRegistry:
         help_text: str = "",
         labels: dict[str, object] | None = None,
     ) -> CallbackGauge:
-        """Register (or replace) a callback gauge read at render time."""
-        gauge = CallbackGauge(name, fn, help_text, labels)
+        """Register a callback gauge series read at render time.
+
+        A repeat call with the same name and a *new* label set adds a
+        series to the existing instrument; the same label set replaces
+        that series' callback.  This is what lets every server shard
+        export its private cache counters under one metric name.
+        """
         existing = self._metrics.get(name)
-        if existing is not None and not isinstance(existing, CallbackGauge):
-            raise TypeError(
-                f"metric {name!r} already registered as "
-                f"{type(existing).__name__}, not CallbackGauge"
-            )
+        if existing is not None:
+            if not isinstance(existing, CallbackGauge):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not CallbackGauge"
+                )
+            existing.add_callback(fn, labels)
+            if help_text and not existing.help_text:
+                existing.help_text = help_text
+            return existing
+        gauge = CallbackGauge(name, fn, help_text, labels)
         self._metrics[name] = gauge
         return gauge
 

@@ -123,3 +123,72 @@ class TestRegistry:
         assert "repro_live 1" in registry.render_text()
         state["value"] = 7.0
         assert "repro_live 7" in registry.render_text()
+
+    def test_callback_gauge_holds_one_series_per_label_set(self):
+        # The per-shard binding pattern: every shard registers its private
+        # cache counter under the same name with a distinguishing label,
+        # and no shard's series clobbers another's.
+        registry = MetricsRegistry()
+        shards = {"0": 10.0, "1": 20.0, "2": 30.0}
+        for shard in shards:
+            registry.gauge_fn(
+                "repro_cache_hits",
+                (lambda s=shard: shards[s]),
+                labels={"shard": shard},
+            )
+        text = registry.render_text()
+        for shard, value in shards.items():
+            assert f'repro_cache_hits{{shard="{shard}"}} {int(value)}' in text
+        gauge = registry.get("repro_cache_hits")
+        assert gauge.value(shard="1") == 20.0
+        shards["1"] = 25.0
+        assert gauge.value(shard="1") == 25.0
+
+    def test_callback_gauge_rebind_replaces_same_label_set_only(self):
+        registry = MetricsRegistry()
+        registry.gauge_fn("repro_live", lambda: 1.0, labels={"shard": "0"})
+        registry.gauge_fn("repro_live", lambda: 2.0, labels={"shard": "1"})
+        registry.gauge_fn("repro_live", lambda: 9.0, labels={"shard": "0"})
+        gauge = registry.get("repro_live")
+        assert gauge.value(shard="0") == 9.0
+        assert gauge.value(shard="1") == 2.0
+
+    def test_callback_gauge_unlabelled_value_requires_unique_series(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge_fn("repro_live", lambda: 4.0, labels={"shard": "0"})
+        assert gauge.value() == 4.0  # sole series: unlabelled read resolves
+        registry.gauge_fn("repro_live", lambda: 5.0, labels={"shard": "1"})
+        with pytest.raises(KeyError):
+            gauge.value()  # ambiguous now
+        assert gauge.value(shard="1") == 5.0
+
+
+class TestSubMicrosecondBuckets:
+    def test_default_buckets_start_at_100ns(self):
+        assert DEFAULT_BUCKETS[0] == 1e-7
+        assert 2.5e-7 in DEFAULT_BUCKETS
+        assert 5e-7 in DEFAULT_BUCKETS
+        assert 1e-6 in DEFAULT_BUCKETS
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_cached_ruling_scale_p50_interpolates_inside_a_bucket(self):
+        # ~2 µs observations must land strictly inside (1e-6, 2.5e-6],
+        # not be clamped to the lowest bucket edge.
+        histogram = Histogram("repro_ruling_seconds")
+        for i in range(1000):
+            histogram.observe(1.8e-6 + (i % 10) * 4e-8)
+        p50 = histogram.quantile(0.50)
+        assert 1e-6 < p50 <= 2.5e-6
+        assert p50 != DEFAULT_BUCKETS[0]
+
+    def test_sub_microsecond_observations_spread_over_new_buckets(self):
+        histogram = Histogram("repro_lookup_seconds")
+        for value in (0.5e-7, 2e-7, 4e-7, 8e-7):
+            for _ in range(100):
+                histogram.observe(value)
+        # With the 100 ns ladder the quartile boundaries are resolved by
+        # distinct buckets rather than one giant (-inf, 1e-6] bin.
+        assert histogram.quantile(0.20) <= 1e-7
+        assert 1e-7 < histogram.quantile(0.45) <= 2.5e-7
+        assert 2.5e-7 < histogram.quantile(0.70) <= 5e-7
+        assert 5e-7 < histogram.quantile(0.95) <= 1e-6

@@ -1,0 +1,75 @@
+"""Wire-codec tests: the action codec must be lossless and the framing strict."""
+
+import pytest
+
+from repro.core.fingerprint import action_fingerprint
+from repro.serve.protocol import (
+    MAX_BATCH_ACTIONS,
+    MAX_LINE_BYTES,
+    ProtocolError,
+    action_from_dict,
+    action_to_dict,
+    decode_line,
+    encode_line,
+)
+from repro.workloads import action_corpus
+
+
+class TestActionCodec:
+    def test_round_trip_preserves_equality_and_fingerprint(self):
+        for action in action_corpus(300, seed=11):
+            rebuilt = action_from_dict(action_to_dict(action))
+            assert rebuilt == action
+            assert action_fingerprint(rebuilt) == action_fingerprint(action)
+
+    def test_round_trip_survives_json_framing(self):
+        for action in action_corpus(50, seed=12):
+            line = encode_line(action_to_dict(action))
+            rebuilt = action_from_dict(decode_line(line))
+            assert rebuilt == action
+
+    def test_missing_field_raises_protocol_error(self):
+        payload = action_to_dict(action_corpus(1, seed=3)[0])
+        del payload["context"]
+        with pytest.raises(ProtocolError):
+            action_from_dict(payload)
+
+    def test_unknown_enum_name_raises_protocol_error(self):
+        payload = action_to_dict(action_corpus(1, seed=3)[0])
+        payload["actor"] = "NOT_AN_ACTOR"
+        with pytest.raises(ProtocolError):
+            action_from_dict(payload)
+
+    def test_non_dict_field_raises_protocol_error(self):
+        payload = action_to_dict(action_corpus(1, seed=3)[0])
+        payload["doctrine"] = "nope"
+        with pytest.raises(ProtocolError):
+            action_from_dict(payload)
+
+
+class TestFraming:
+    def test_encode_line_is_canonical_and_newline_terminated(self):
+        line = encode_line({"b": 1, "a": 2})
+        assert line == b'{"a":2,"b":1}\n'
+
+    def test_decode_rejects_invalid_json(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"{nope\n")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"[1, 2]\n")
+
+    def test_decode_rejects_non_utf8(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"\xff\xfe\n")
+
+    def test_request_framing_bound_fits_the_batch_cap(self):
+        # A request at the batch-size cap must fit the line bound —
+        # otherwise the cap is unreachable and the bound is the real cap.
+        sample = [action_to_dict(a) for a in action_corpus(200, seed=5)]
+        per_action = max(
+            len(encode_line({"op": "rule", "id": 0, "actions": [d]}))
+            for d in sample
+        )
+        assert per_action * MAX_BATCH_ACTIONS <= MAX_LINE_BYTES

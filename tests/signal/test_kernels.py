@@ -170,6 +170,45 @@ class TestFoldHalfCounts:
         with pytest.raises(ValueError, match="duration"):
             fold_half_counts([1.0], 0.0, np.array([0.0]), 2.0, 0.0)
 
+    def test_boundary_counting_matches_dense_fold(self):
+        """The searchsorted fast path is bit-identical to the broadcast fold.
+
+        Exercises non-dyadic periods, irrational-ish offsets, and times
+        planted exactly on (and one ulp around) half-period boundaries —
+        the cases where an inexact boundary collapse would flip a count.
+        """
+        from repro.signal.folding import _fold_half_counts_dense
+
+        rng = np.random.default_rng(11)
+        for period, start in [(4.0, 0.0), (0.7, 3.25), (3.3333, -1.5), (1e-3, 0.1)]:
+            duration = period * 9.5
+            offsets = offset_grid(period / 3, period / 41)
+            times = rng.uniform(-period, duration + period, 400)
+            half = period / 2
+            shifts = start + offsets
+            planted = []
+            for shift in shifts[:: max(1, shifts.size // 7)]:
+                for k in range(10):
+                    for edge in (k * period, k * period + half):
+                        t = shift + edge
+                        planted.extend(
+                            [t, np.nextafter(t, np.inf), np.nextafter(t, -np.inf)]
+                        )
+            times = np.concatenate([times, planted])
+            fast = fold_half_counts(times, start, offsets, period, duration)
+            dense = _fold_half_counts_dense(
+                times,
+                start,
+                offsets,
+                period,
+                duration,
+                chunk_bytes=1 << 20,
+                first_half=np.zeros(offsets.size, dtype=np.int64),
+                total=np.zeros(offsets.size, dtype=np.int64),
+            )
+            assert (fast[0] == dense[0]).all(), period
+            assert (fast[1] == dense[1]).all(), period
+
 
 class TestAutocorrelationSpectrum:
     def test_matches_direct_dot_products(self):
